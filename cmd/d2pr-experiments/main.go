@@ -1,0 +1,62 @@
+// Command d2pr-experiments regenerates the paper's tables and figures from
+// the synthetic data graphs.
+//
+// Usage:
+//
+//	d2pr-experiments [-run id[,id...]] [-scale f] [-seed n] [-tol f]
+//
+// With no -run flag every experiment runs in paper order. Experiment ids:
+// table1 table2 table3 fig1 fig2 ... fig11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale = flag.Float64("scale", 1.0, "data graph scale factor")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		tol   = flag.Float64("tol", 1e-9, "solver convergence tolerance")
+		quiet = flag.Bool("q", false, "suppress timing output")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "d2pr-experiments: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	r := experiments.NewRunner(dataset.Config{Scale: *scale, Seed: *seed})
+	r.Tol = *tol
+	start := time.Now()
+	var err error
+	if *run == "" {
+		err = experiments.RunAll(r, os.Stdout)
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if err = experiments.RunAndRender(r, id, os.Stdout); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "d2pr-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/graph"
+)
+
+func TestGenSingleGraphRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 0.2, 7, dataset.DBLPAuthorAuthor); err != nil {
+		t.Fatal(err)
+	}
+	edgePath := filepath.Join(dir, dataset.DBLPAuthorAuthor+".edges")
+	sigPath := filepath.Join(dir, dataset.DBLPAuthorAuthor+".sig")
+
+	f, err := os.Open(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f, graph.Undirected, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dataset.GraphByName(dataset.Config{Scale: 0.2, Seed: 7}, dataset.DBLPAuthorAuthor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != want.Weighted.NumEdges() {
+		t.Errorf("edges on disk %d, generated %d", g.NumEdges(), want.Weighted.NumEdges())
+	}
+
+	sf, err := os.Open(sigPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	sig, err := graph.ReadScores(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != len(want.Significance) {
+		t.Fatalf("sig len %d, want %d", len(sig), len(want.Significance))
+	}
+	for i := range sig {
+		diff := sig[i] - want.Significance[i]
+		if diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("sig[%d] = %v, want %v", i, sig[i], want.Significance[i])
+		}
+	}
+}
+
+func TestGenAllGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates all eight graphs")
+	}
+	dir := t.TempDir()
+	if err := run(dir, 0.1, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range dataset.GraphNames() {
+		if _, err := os.Stat(filepath.Join(dir, name+".edges")); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".sig")); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenUnknownGraph(t *testing.T) {
+	if err := run(t.TempDir(), 1, 1, "bogus"); err == nil {
+		t.Error("unknown graph must error")
+	}
+}

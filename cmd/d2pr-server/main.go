@@ -1,0 +1,87 @@
+// Command d2pr-server serves D2PR rankings over HTTP for one graph.
+//
+// Usage:
+//
+//	d2pr-server -listen :8080 graph.tsv
+//	d2pr-server -weighted -sig scores.tsv graph.tsv
+//	d2pr-server -dataset imdb-actor-actor       # serve a synthetic data graph
+//
+// Endpoints: /healthz, /v1/graph, /v1/rank, /v1/node/{id}, /v1/correlate —
+// see internal/server for the API documentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/graph"
+	"d2pr/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8080", "listen address")
+		directed  = flag.Bool("directed", false, "treat the edge list as directed")
+		weighted  = flag.Bool("weighted", false, "read a weight column")
+		sigPath   = flag.String("sig", "", "optional per-node significance file")
+		dataGraph = flag.String("dataset", "", "serve a built-in synthetic data graph instead of a file")
+		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale")
+		seed      = flag.Uint64("seed", 42, "synthetic dataset seed")
+	)
+	flag.Parse()
+
+	var (
+		g   *graph.Graph
+		sig []float64
+		err error
+	)
+	switch {
+	case *dataGraph != "":
+		var d *dataset.DataGraph
+		d, err = dataset.GraphByName(dataset.Config{Scale: *scale, Seed: *seed}, *dataGraph)
+		if err != nil {
+			log.Fatalf("d2pr-server: %v", err)
+		}
+		g, sig = d.Weighted, d.Significance
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			log.Fatalf("d2pr-server: %v", ferr)
+		}
+		kind := graph.Undirected
+		if *directed {
+			kind = graph.Directed
+		}
+		g, err = graph.ReadEdgeList(f, kind, *weighted)
+		f.Close()
+		if err != nil {
+			log.Fatalf("d2pr-server: %v", err)
+		}
+		if *sigPath != "" {
+			sf, serr := os.Open(*sigPath)
+			if serr != nil {
+				log.Fatalf("d2pr-server: %v", serr)
+			}
+			sig, err = graph.ReadScores(sf)
+			sf.Close()
+			if err != nil {
+				log.Fatalf("d2pr-server: %v", err)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "d2pr-server: need an edge-list file or -dataset")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := server.New(g, sig)
+	if err != nil {
+		log.Fatalf("d2pr-server: %v", err)
+	}
+	log.Printf("serving %v on %s", g, *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.tsv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleEdges = "0 1\n0 2\n0 3\n1 2\n2 4\n4 5\n"
+
+func TestRunD2PRTop(t *testing.T) {
+	path := writeTemp(t, sampleEdges)
+	var out bytes.Buffer
+	err := run([]string{"-p", "0.5", "-top", "3", path}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("output lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "rank\tnode") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+}
+
+func TestRunScoresOutput(t *testing.T) {
+	path := writeTemp(t, sampleEdges)
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "pagerank", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("want 6 score lines, got %d", len(lines))
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-algo", "degree", "-"}, strings.NewReader(sampleEdges), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(out.String()), "\n")) != 6 {
+		t.Error("stdin path broken")
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeTemp(t, sampleEdges)
+	for _, algo := range []string{"d2pr", "pagerank", "hits", "degree", "closeness", "betweenness", "eigenvector"} {
+		var out bytes.Buffer
+		if err := run([]string{"-algo", algo, path}, nil, &out); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "ppr", "-seeds", "0,2", path}, nil, &out); err != nil {
+		t.Errorf("ppr: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTemp(t, sampleEdges)
+	cases := [][]string{
+		{},                                   // no file
+		{path, "extra"},                      // too many args
+		{"-algo", "bogus", path},             // unknown algorithm
+		{"-algo", "ppr", path},               // ppr without seeds
+		{"-beta", "2", path},                 // invalid beta
+		{filepath.Join(t.TempDir(), "nope")}, // missing file
+	}
+	for _, args := range cases {
+		if err := run(args, nil, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestRunWeightedDirected(t *testing.T) {
+	path := writeTemp(t, "0 1 2.5\n1 2 1.0\n2 0 4.0\n")
+	var out bytes.Buffer
+	err := run([]string{"-directed", "-weighted", "-p", "1", "-beta", "0.5", path}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1,22, 333")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int32{1, 22, 333}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", "1,,2", "a", "1;2"} {
+		if _, err := parseSeeds(bad); err == nil {
+			t.Errorf("%q: want error", bad)
+		}
+	}
+}

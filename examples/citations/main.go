@@ -1,0 +1,71 @@
+// Directed-graph D2PR (§3.2.2 of the paper): on a citation network, the
+// degree that gets de-coupled is the OUT-degree — the reference list a paper
+// chose to write, which costs effort — while in-links (citations received)
+// remain the authority signal.
+//
+// The generator plants the paper's directed semantics: long reference lists
+// signal low per-reference effort (OutDegreeCost), and good papers attract
+// citations. A paper that cites everything should not gain rank for being
+// cited by such a non-discerning paper's peers; penalizing high out-degree
+// destinations during the walk (p > 0) sharpens the authority signal.
+//
+// Run with: go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2pr"
+	"d2pr/internal/dataset"
+)
+
+func main() {
+	net := dataset.GenerateCitations(dataset.CitationConfig{
+		Papers:        3000,
+		MeanRefs:      8,
+		OutDegreeCost: 2, // long reference lists ⇒ low per-reference effort
+		Attachment:    0.4,
+		Seed:          17,
+	})
+	// Rank on the REVERSED graph: authority flows along citations, from the
+	// citing paper to the cited one — the standard PageRank-on-citations
+	// setup. D2PR then de-couples using the out-degrees of the reversed
+	// graph, i.e. how indiscriminately a paper's citers cite.
+	g := net.Graph
+	fmt.Printf("citation network: %v (arc u→v: u cites v)\n\n", g)
+
+	fmt.Printf("%-6s %-22s %-22s\n", "p", "corr(D2PR, citations)", "corr(D2PR, quality)")
+	for _, p := range []float64{-2, -1, 0, 0.5, 1, 2} {
+		res, err := d2pr.D2PR(g, p, d2pr.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.1f %-22.4f %-22.4f\n", p,
+			d2pr.Spearman(res.Scores, net.Significance),
+			d2pr.Spearman(res.Scores, net.Quality))
+	}
+
+	// The walk above runs along reference lists (u→v follows a citation),
+	// so PageRank mass accumulates on heavily-cited papers. Compare the
+	// top-5 under conventional PageRank and under out-degree penalization.
+	conv, err := d2pr.Rank(g, d2pr.Params{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pen, err := d2pr.Rank(g, d2pr.Params{P: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-5 papers (node: citations, quality):")
+	fmt.Println("conventional PageRank      | out-degree-penalized D2PR (p=1)")
+	convTop := d2pr.TopK(conv.Scores, 5)
+	penTop := d2pr.TopK(pen.Scores, 5)
+	for i := 0; i < 5; i++ {
+		a, b := convTop[i], penTop[i]
+		fmt.Printf("#%d: %4d (%3.0f, %.2f)       | #%d: %4d (%3.0f, %.2f)\n",
+			i+1, a, net.Significance[a], net.Quality[a],
+			i+1, b, net.Significance[b], net.Quality[b])
+	}
+	fmt.Println("\nOut-edges cost effort; in-edges confer authority — the paper's §3.2.2.")
+}

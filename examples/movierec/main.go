@@ -1,0 +1,79 @@
+// Movie recommendation (the paper's Example 1): on an actor-actor graph
+// built from shared movies, conventional PageRank surfaces prolific
+// ("B-movie") actors because its scores track degree; degree de-coupled
+// PageRank with p > 0 surfaces the discriminating, highly-rated actors.
+//
+// The data is the synthetic IMDB dataset of this reproduction: actors carry
+// a latent quality, roles cost effort proportional to movie quality, and the
+// observable significance is the average user rating of the movies an actor
+// played in (merged MovieLens-style ratings in the paper).
+//
+// Run with: go run ./examples/movierec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2pr"
+	"d2pr/internal/dataset"
+	"d2pr/internal/stats"
+)
+
+func main() {
+	data, err := dataset.GraphByName(dataset.Config{Scale: 0.5, Seed: 7}, dataset.IMDBActorActor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := data.Unweighted()
+	fmt.Printf("actor-actor graph: %v (edge = shared movie)\n", g)
+	fmt.Printf("significance: %s\n\n", data.SignificanceMeaning)
+
+	// 1. Conventional PageRank is degree-coupled.
+	pr, err := d2pr.PageRank(g, d2pr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional PageRank:  corr(rank, degree)       = %+.3f\n",
+		d2pr.DegreeCorrelation(g, pr.Scores))
+	fmt.Printf("                        corr(rank, avg rating)   = %+.3f\n\n",
+		d2pr.Spearman(pr.Scores, data.Significance))
+
+	// 2. Model selection: find the de-coupling weight that best matches the
+	// rating-based significance (the paper's Figure 2(a) sweep as one call).
+	bestP, bestRho, err := d2pr.OptimalP(g, data.Significance, -2, 3, 0.5, d2pr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal de-coupling weight: p = %.1f (corr = %+.3f)\n\n", bestP, bestRho)
+
+	// 3. Compare the top-10 recommendations.
+	dec, err := d2pr.D2PR(g, bestP, d2pr.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-10 actors by conventional PageRank vs D2PR:")
+	fmt.Printf("%-4s | %-8s %-7s %-7s | %-8s %-7s %-7s\n",
+		"rank", "PR actor", "deg", "rating", "D2 actor", "deg", "rating")
+	prTop := stats.TopK(pr.Scores, 10)
+	d2Top := stats.TopK(dec.Scores, 10)
+	rating := dataset.RatingScale(data.Significance, 1, 5)
+	for i := 0; i < 10; i++ {
+		a, b := prTop[i], d2Top[i]
+		fmt.Printf("%-4d | %-8d %-7d %-7.2f | %-8d %-7d %-7.2f\n",
+			i+1, a, g.Degree(int32(a)), rating[a], b, g.Degree(int32(b)), rating[b])
+	}
+
+	avg := func(idx []int) (deg, rate float64) {
+		for _, u := range idx {
+			deg += float64(g.Degree(int32(u)))
+			rate += rating[u]
+		}
+		return deg / float64(len(idx)), rate / float64(len(idx))
+	}
+	prDeg, prRate := avg(prTop)
+	d2Deg, d2Rate := avg(d2Top)
+	fmt.Printf("\nPageRank top-10: mean degree %.0f, mean rating %.2f\n", prDeg, prRate)
+	fmt.Printf("D2PR     top-10: mean degree %.0f, mean rating %.2f\n", d2Deg, d2Rate)
+	fmt.Println("\nD2PR trades raw connectivity for per-movie quality — the paper's point.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: build the paper's Figure-1 sample graph, inspect how the
+// degree de-coupling weight p reshapes the transition probabilities, and
+// compare the resulting rankings.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d2pr"
+	"d2pr/internal/core"
+)
+
+func main() {
+	// The sample graph of the paper's Figure 1: node A has three neighbors
+	// B (degree 2), C (degree 3), D (degree 1).
+	//
+	//	    B --- C --- E --- F
+	//	     \   /
+	//	      \ /
+	//	  D -- A
+	names := []string{"A", "B", "C", "D", "E", "F"}
+	g, err := d2pr.FromEdges(d2pr.Undirected, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 4}, {4, 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+
+	// Transition probabilities from A for p = 0 (conventional), 2
+	// (penalize high-degree destinations), -2 (boost them). These match
+	// the paper's Figure 1(b): 0.33/0.33/0.33, 0.18/0.08/0.74,
+	// 0.29/0.64/0.07.
+	fmt.Println("\ntransition probabilities from A:")
+	fmt.Printf("%-6s %-8s %-8s %-8s %-8s\n", "dest", "degree", "p=0", "p=2", "p=-2")
+	t0 := core.DegreeDecoupled(g, 0)
+	t2 := core.DegreeDecoupled(g, 2)
+	tm2 := core.DegreeDecoupled(g, -2)
+	for j, v := range g.Neighbors(0) {
+		fmt.Printf("%-6s %-8d %-8.2f %-8.2f %-8.2f\n",
+			names[v], g.Degree(v),
+			t0.ProbsFrom(0)[j], t2.ProbsFrom(0)[j], tm2.ProbsFrom(0)[j])
+	}
+
+	// Full rankings under different de-coupling weights.
+	fmt.Println("\nscores (α = 0.85):")
+	fmt.Printf("%-6s %-8s %-10s %-10s %-10s\n", "node", "degree", "p=0", "p=2", "p=-2")
+	scores := map[float64][]float64{}
+	for _, p := range []float64{0, 2, -2} {
+		res, err := d2pr.Rank(g, d2pr.Params{P: p})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			log.Fatalf("p=%v did not converge after %d iterations", p, res.Iterations)
+		}
+		scores[p] = res.Scores
+	}
+	for u := range names {
+		fmt.Printf("%-6s %-8d %-10.4f %-10.4f %-10.4f\n",
+			names[u], g.Degree(int32(u)),
+			scores[0][u], scores[2][u], scores[-2][u])
+	}
+
+	// The headline diagnostic: how tightly each ranking couples to degree.
+	fmt.Println("\ncorrelation with degree (Spearman):")
+	for _, p := range []float64{-2, 0, 2} {
+		fmt.Printf("  p=%+.0f: %+.3f\n", p, d2pr.DegreeCorrelation(g, scores[p]))
+	}
+	fmt.Println("\np > 0 decouples the ranking from degree; p < 0 couples it harder.")
+}

@@ -1,0 +1,94 @@
+package core
+
+import "math"
+
+// SolveGaussSeidel solves the same fixpoint as Solve with in-place
+// Gauss–Seidel sweeps: each node update immediately uses the freshest scores
+// of its in-neighbors. Whether that beats Jacobi power iteration depends on
+// the node ordering relative to the graph: on the directed citation graphs
+// in this module (arcs point to lower ids, so every in-neighbor is fresh by
+// the time a node updates) it converges in a fraction of the sweeps, while
+// on undirected hub-heavy graphs it can need more sweeps than Jacobi —
+// `BenchmarkAblationGaussSeidel` measures both. It exists as the ablation
+// partner for the solver choice, not as a default.
+//
+// The method is inherently sequential, so Options.Workers is ignored.
+// Dangling-node handling and the teleport distribution match Solve exactly;
+// both solvers converge to the same vector (within tolerance), which
+// TestGaussSeidelMatchesPowerIteration asserts.
+func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
+	n := t.g.NumNodes()
+	if n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	opts, err := opts.withDefaults(n)
+	if err != nil {
+		return nil, err
+	}
+	f := newFlow(t)
+	tele := opts.teleportDist(n)
+
+	x := make([]float64, n)
+	copy(x, tele)
+	res := &Result{}
+	isDangling := make([]bool, n)
+	for _, d := range f.dangling {
+		isDangling[d] = true
+	}
+	// Track the dangling mass incrementally: recomputing it per node would
+	// be O(n·|dangling|).
+	var danglingMass float64
+	for _, d := range f.dangling {
+		danglingMass += x[d]
+	}
+	update := func(v int) float64 {
+		lo, hi := f.offsets[v], f.offsets[v+1]
+		var acc float64
+		for k := lo; k < hi; k++ {
+			acc += f.probs[k] * x[f.sources[k]]
+		}
+		nv := opts.Alpha*acc + (opts.Alpha*danglingMass+1-opts.Alpha)*tele[v]
+		d := nv - x[v]
+		if isDangling[v] {
+			danglingMass += d
+		}
+		x[v] = nv
+		return math.Abs(d)
+	}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Alternate the sweep direction: whichever way the graph's natural
+		// ordering points (citation DAGs point at lower ids, BFS orders at
+		// higher ones), every second sweep runs "with the grain" and uses
+		// fresh in-neighbor values.
+		var diff float64
+		if iter%2 == 1 {
+			for v := n - 1; v >= 0; v-- {
+				diff += update(v)
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				diff += update(v)
+			}
+		}
+		res.Iterations = iter
+		res.Residual = diff
+		if diff < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	// Gauss–Seidel sweeps do not preserve the L1 norm mid-stream;
+	// renormalize exactly as Solve does.
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	res.Scores = x
+	return res, nil
+}

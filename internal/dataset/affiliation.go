@@ -1,0 +1,353 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"d2pr/internal/dataset/rng"
+	"d2pr/internal/graph"
+)
+
+func quickSort(idx []int, less func(a, b int) bool) {
+	sort.Slice(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+}
+
+// MembershipRegime selects how an entity's number of affiliations depends on
+// its latent quality. This is the paper's §1.2.1 effort-budget story made
+// executable.
+type MembershipRegime int
+
+const (
+	// CostRegime: each affiliation costs effort proportional to quality, and
+	// every entity has the same budget — so high-quality entities hold few
+	// affiliations ("A-movie actors play in few movies"). Degree is
+	// inversely related to quality. Paper Group A.
+	CostRegime MembershipRegime = iota
+	// BalancedRegime: affiliation counts rise mildly with quality and are
+	// Poisson-concentrated, so degrees are homogeneous. Paper Group B.
+	BalancedRegime
+	// HubRegime: affiliation counts are heavy-tailed (Pareto) and scale with
+	// quality, producing dominant hubs. Paper Group C.
+	HubRegime
+)
+
+// String returns the regime name.
+func (m MembershipRegime) String() string {
+	switch m {
+	case CostRegime:
+		return "cost"
+	case BalancedRegime:
+		return "balanced"
+	case HubRegime:
+		return "hub"
+	}
+	return fmt.Sprintf("MembershipRegime(%d)", int(m))
+}
+
+// AffiliationConfig parameterizes one synthetic bipartite dataset
+// (entities × containers: actors × movies, authors × articles,
+// commenters × products, listeners × artists).
+type AffiliationConfig struct {
+	// Entities and Containers are the two side sizes.
+	Entities   int
+	Containers int
+	// Regime selects the membership-count model for entities.
+	Regime MembershipRegime
+	// MeanMemberships is the target mean number of affiliations per entity.
+	MeanMemberships float64
+	// CostExponent sharpens the inverse quality→memberships relation in
+	// CostRegime (γ in m ∝ (1.1−q)^γ). Ignored elsewhere. 0 means 2.
+	CostExponent float64
+	// ParetoAlpha is the tail exponent for HubRegime. 0 means 1.6.
+	ParetoAlpha float64
+	// MaxMemberships caps any entity's affiliation count. 0 means 4× mean
+	// for non-hub regimes and 40× mean for HubRegime.
+	MaxMemberships int
+	// Assortativity controls how tightly entities pick containers of
+	// matching quality: the chosen container's quality rank is the entity's
+	// quality rank plus Normal(0, Assortativity·Containers) noise. Smaller
+	// is tighter. 0 means 0.15.
+	Assortativity float64
+	// PopularityBias tilts container choice by container quality:
+	// probability ∝ exp(PopularityBias·Q). Positive means high-quality
+	// containers attract more members (big-budget movies); negative means
+	// low-quality containers do (much-complained-about products); zero is
+	// neutral.
+	PopularityBias float64
+	// TailFraction adds a heavy-tail mixture to the membership counts: with
+	// this probability an entity's count is multiplied by a Pareto(1,
+	// TailAlpha) draw. It models the rare super-prolific participants (DBLP
+	// authors with hundreds of papers) whose container projections become
+	// hub-dominated while the entity side stays homogeneous in the median.
+	TailFraction float64
+	// TailAlpha is the Pareto tail exponent of the mixture. 0 means 1.2.
+	TailAlpha float64
+	// TailQualityBias skews which entities fall in the heavy tail: 0 keeps
+	// it quality-independent; 1 makes the tail probability ∝ 2(1−q), i.e.
+	// low-quality entities are the prolific ones (volume dilutes quality).
+	// Values in between interpolate linearly.
+	TailQualityBias float64
+	// QualityCoupling scales how strongly membership counts depend on
+	// quality in BalancedRegime: 1 is the regime default, 0 makes counts
+	// quality-independent (degree becomes pure structure, the Group-B
+	// setting where no walk can beat conventional PageRank). Negative values
+	// are clamped to 0; nil means 1.
+	QualityCoupling *float64
+	// ContainerTailFraction designates this fraction of containers as
+	// "mega" containers with Pareto(1, 1.2)-distributed attractiveness —
+	// the 100-author physics papers of DBLP. Entities route a
+	// ContainerTailMix share of their affiliations to the mega set
+	// (proportionally to attractiveness) instead of choosing
+	// assortatively. Entity-side projections typically exclude mega
+	// containers via their container-size cap, so the mega tail creates
+	// hubs only in the container projection.
+	ContainerTailFraction float64
+	// ContainerTailMix is the probability that one affiliation choice goes
+	// to the mega set. Ignored when ContainerTailFraction is 0.
+	ContainerTailMix float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c AffiliationConfig) withDefaults() AffiliationConfig {
+	if c.CostExponent == 0 {
+		c.CostExponent = 2
+	}
+	if c.ParetoAlpha == 0 {
+		c.ParetoAlpha = 1.6
+	}
+	if c.Assortativity == 0 {
+		c.Assortativity = 0.15
+	}
+	if c.TailAlpha == 0 {
+		c.TailAlpha = 1.2
+	}
+	if c.MaxMemberships == 0 {
+		mult := 4.0
+		if c.Regime == HubRegime || c.TailFraction > 0 {
+			mult = 40
+		}
+		c.MaxMemberships = int(math.Ceil(c.MeanMemberships * mult))
+		if c.MaxMemberships < 2 {
+			c.MaxMemberships = 2
+		}
+	}
+	return c
+}
+
+// Affiliation is a generated bipartite dataset: latent qualities on both
+// sides plus the affiliation lists.
+type Affiliation struct {
+	Config AffiliationConfig
+	// megaIDs and megaAlias drive mega-container selection (nil when
+	// ContainerTailFraction is 0).
+	megaIDs   []int32
+	megaAlias *rng.Alias
+	// EntityQuality and ContainerQuality are the planted latent qualities in
+	// (0, 1); application significances are noisy observations of these.
+	EntityQuality    []float64
+	ContainerQuality []float64
+	// Members[c] lists the entities affiliated with container c (each entity
+	// at most once per container).
+	Members [][]int32
+	// Memberships[e] is the number of containers entity e joined.
+	Memberships []int
+}
+
+// GenerateAffiliation runs the planted-quality affiliation process.
+func GenerateAffiliation(cfg AffiliationConfig) *Affiliation {
+	cfg = cfg.withDefaults()
+	if cfg.Entities <= 0 || cfg.Containers <= 0 {
+		panic(fmt.Sprintf("dataset: affiliation needs positive sizes, got %d×%d", cfg.Entities, cfg.Containers))
+	}
+	r := rng.New(cfg.Seed)
+	a := &Affiliation{
+		Config:           cfg,
+		EntityQuality:    make([]float64, cfg.Entities),
+		ContainerQuality: make([]float64, cfg.Containers),
+		Members:          make([][]int32, cfg.Containers),
+		Memberships:      make([]int, cfg.Entities),
+	}
+	for i := range a.EntityQuality {
+		// Beta(2,2)-shaped: interior-concentrated qualities.
+		a.EntityQuality[i] = (r.Float64() + r.Float64()) / 2
+	}
+	for i := range a.ContainerQuality {
+		a.ContainerQuality[i] = (r.Float64() + r.Float64()) / 2
+	}
+	// Containers sorted by quality for rank-assortative selection.
+	byQ := make([]int32, cfg.Containers)
+	for i := range byQ {
+		byQ[i] = int32(i)
+	}
+	sort.Slice(byQ, func(i, j int) bool {
+		return a.ContainerQuality[byQ[i]] < a.ContainerQuality[byQ[j]]
+	})
+	// Designate mega containers and their attractiveness weights.
+	if cfg.ContainerTailFraction > 0 {
+		nMega := int(math.Ceil(cfg.ContainerTailFraction * float64(cfg.Containers)))
+		perm := r.Perm(cfg.Containers)
+		weights := make([]float64, 0, nMega)
+		for _, c := range perm[:nMega] {
+			a.megaIDs = append(a.megaIDs, int32(c))
+			weights = append(weights, r.Pareto(1, 1.2))
+		}
+		a.megaAlias = rng.NewAlias(weights)
+	}
+
+	chosen := make(map[int32]struct{}, 16)
+	for e := 0; e < cfg.Entities; e++ {
+		q := a.EntityQuality[e]
+		m := a.membershipCount(q, r)
+		a.Memberships[e] = m
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		for len(chosen) < m {
+			c := a.pickContainer(q, byQ, r)
+			if _, dup := chosen[c]; dup {
+				// Collision: small container pools make duplicates likely;
+				// resample a bounded number of times then give up on this
+				// slot to avoid pathological loops.
+				c2 := a.pickContainer(q, byQ, r)
+				if _, dup2 := chosen[c2]; dup2 {
+					a.Memberships[e]--
+					m--
+					continue
+				}
+				c = c2
+			}
+			chosen[c] = struct{}{}
+			a.Members[c] = append(a.Members[c], int32(e))
+		}
+	}
+	return a
+}
+
+// membershipCount draws the number of affiliations for an entity of quality
+// q under the configured regime.
+func (a *Affiliation) membershipCount(q float64, r *rng.RNG) int {
+	cfg := a.Config
+	var m int
+	switch cfg.Regime {
+	case CostRegime:
+		// Budget B, per-affiliation cost ∝ q^γ-ish: memberships fall as
+		// quality rises. Scaled so the population mean is MeanMemberships.
+		// E[(1.1-q)^γ] over Beta(2,2)-ish q ≈ (0.6)^γ at γ=2 → calibrate by
+		// the mid-quality value.
+		base := math.Pow(1.1-q, cfg.CostExponent) / math.Pow(0.6, cfg.CostExponent)
+		m = 1 + r.Poisson(cfg.MeanMemberships*base*0.85)
+	case BalancedRegime:
+		// Mildly increasing with quality, Poisson-concentrated. The coupling
+		// is gentle on purpose: degree must carry only a weak quality
+		// signal, so that boosting it (p < 0) amplifies noise instead of
+		// signal — the paper's Group-B behaviour.
+		c := 1.0
+		if cfg.QualityCoupling != nil {
+			c = *cfg.QualityCoupling
+			if c < 0 {
+				c = 0
+			}
+		}
+		m = 1 + r.Poisson(cfg.MeanMemberships*(1+0.6*c*(q-0.5))*0.85)
+	case HubRegime:
+		// Heavy-tailed and quality-scaled.
+		raw := r.Pareto(1, cfg.ParetoAlpha) * (0.4 + 1.2*q)
+		scale := cfg.MeanMemberships / (1.0 * cfg.ParetoAlpha / (cfg.ParetoAlpha - 1))
+		m = int(math.Ceil(raw * scale))
+		if m < 1 {
+			m = 1
+		}
+	default:
+		panic(fmt.Sprintf("dataset: unknown regime %v", cfg.Regime))
+	}
+	if cfg.TailFraction > 0 {
+		tp := cfg.TailFraction * (1 - cfg.TailQualityBias + cfg.TailQualityBias*2*(1-q))
+		if r.Float64() < tp {
+			m = int(math.Ceil(float64(m) * r.Pareto(1, cfg.TailAlpha)))
+		}
+	}
+	if m > cfg.MaxMemberships {
+		m = cfg.MaxMemberships
+	}
+	if m > cfg.Containers {
+		m = cfg.Containers
+	}
+	return m
+}
+
+// pickContainer selects a container for an entity of quality q:
+// rank-assortative around the entity's quality with Gaussian spread, then
+// tilted by the popularity bias via rejection.
+func (a *Affiliation) pickContainer(q float64, byQ []int32, r *rng.RNG) int32 {
+	cfg := a.Config
+	nC := len(byQ)
+	if a.megaAlias != nil && cfg.ContainerTailMix > 0 && r.Float64() < cfg.ContainerTailMix {
+		return a.megaIDs[a.megaAlias.Draw(r)]
+	}
+	for {
+		target := q + cfg.Assortativity*r.NormFloat64()
+		pos := int(target * float64(nC))
+		if pos < 0 || pos >= nC {
+			continue
+		}
+		c := byQ[pos]
+		if cfg.PopularityBias != 0 {
+			// Accept with probability ∝ exp(bias·(Q-1)) ≤ 1 for bias>0,
+			// ∝ exp(bias·Q) ≤ 1 for bias<0.
+			Q := a.ContainerQuality[c]
+			var accept float64
+			if cfg.PopularityBias > 0 {
+				accept = math.Exp(cfg.PopularityBias * (Q - 1))
+			} else {
+				accept = math.Exp(cfg.PopularityBias * Q)
+			}
+			if r.Float64() >= accept {
+				continue
+			}
+		}
+		return c
+	}
+}
+
+// EntityProjection returns the entity–entity co-occurrence graph: entities
+// are adjacent iff they share a container, weighted by the number of shared
+// containers. Containers larger than maxContainer are skipped (0 = no cap).
+func (a *Affiliation) EntityProjection(maxContainer int) *graph.Graph {
+	g, err := graph.ProjectBipartite(a.Config.Entities, a.Members, maxContainer)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: entity projection: %v", err))
+	}
+	return g
+}
+
+// ContainerProjection returns the container–container co-occurrence graph:
+// containers are adjacent iff they share an entity, weighted by the number
+// of shared entities. Entities with more than maxMemberships affiliations
+// are skipped (0 = no cap); prolific entities otherwise generate
+// quadratically many edges.
+func (a *Affiliation) ContainerProjection(maxMemberships int) *graph.Graph {
+	// Invert the membership lists.
+	byEntity := make([][]int32, a.Config.Entities)
+	for c, members := range a.Members {
+		for _, e := range members {
+			byEntity[e] = append(byEntity[e], int32(c))
+		}
+	}
+	g, err := graph.ProjectBipartite(a.Config.Containers, byEntity, maxMemberships)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: container projection: %v", err))
+	}
+	return g
+}
+
+// ContainerMemberCounts returns, for each container, how many entities chose
+// it (its bipartite degree).
+func (a *Affiliation) ContainerMemberCounts() []int {
+	out := make([]int, a.Config.Containers)
+	for c, members := range a.Members {
+		out[c] = len(members)
+	}
+	return out
+}

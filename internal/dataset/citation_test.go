@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"testing"
+
+	"d2pr/internal/graph"
+	"d2pr/internal/stats"
+)
+
+func TestCitationBasics(t *testing.T) {
+	net := GenerateCitations(CitationConfig{Papers: 1500, MeanRefs: 6, Seed: 1})
+	g := net.Graph
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("citation graph must be directed")
+	}
+	if g.NumNodes() != 1500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Arcs must always point backward in time (u cites older v).
+	n := g.NumNodes()
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v >= u {
+				t.Fatalf("forward citation %d→%d", u, v)
+			}
+		}
+	}
+	// Significance is exactly the in-degree.
+	in := g.InDegrees()
+	for i := range in {
+		if net.Significance[i] != float64(in[i]) {
+			t.Fatalf("significance[%d] = %v, in-degree %d", i, net.Significance[i], in[i])
+		}
+	}
+}
+
+func TestCitationOutDegreeCost(t *testing.T) {
+	// With cost: out-degree anti-correlates with quality. Without: not.
+	costly := GenerateCitations(CitationConfig{Papers: 3000, MeanRefs: 8, OutDegreeCost: 2, Seed: 2})
+	free := GenerateCitations(CitationConfig{Papers: 3000, MeanRefs: 8, OutDegreeCost: 0, Seed: 2})
+	outDeg := func(g *graph.Graph) []float64 {
+		out := make([]float64, g.NumNodes())
+		for i := range out {
+			out[i] = float64(g.OutDegree(int32(i)))
+		}
+		return out
+	}
+	rhoCostly := stats.Spearman(outDeg(costly.Graph), costly.Quality)
+	rhoFree := stats.Spearman(outDeg(free.Graph), free.Quality)
+	if rhoCostly > -0.3 {
+		t.Errorf("costly: corr(outdeg, quality) = %v, want strongly negative", rhoCostly)
+	}
+	if rhoFree < -0.1 {
+		t.Errorf("free: corr(outdeg, quality) = %v, want ≈0", rhoFree)
+	}
+}
+
+func TestCitationQualityAttractsCitations(t *testing.T) {
+	net := GenerateCitations(CitationConfig{Papers: 3000, MeanRefs: 8, Attachment: 0.3, Seed: 3})
+	// Restrict to the older half so age effects don't dominate.
+	half := 1500
+	q := net.Quality[:half]
+	s := net.Significance[:half]
+	if rho := stats.Spearman(q, s); rho < 0.15 {
+		t.Errorf("corr(quality, citations) = %v, want positive", rho)
+	}
+}
+
+func TestCitationDeterminism(t *testing.T) {
+	a := GenerateCitations(CitationConfig{Papers: 500, Seed: 9})
+	b := GenerateCitations(CitationConfig{Papers: 500, Seed: 9})
+	ea, eb := graph.SortedEdges(a.Graph), graph.SortedEdges(b.Graph)
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic citation graph")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"testing"
+
+	"d2pr/internal/graph"
+	"d2pr/internal/stats"
+)
+
+// smallCfg keeps generation fast in tests.
+var smallCfg = Config{Scale: 0.25, Seed: 42}
+
+func TestAllGraphsComplete(t *testing.T) {
+	all := AllGraphs(smallCfg)
+	if len(all) != 8 {
+		t.Fatalf("got %d graphs, want 8", len(all))
+	}
+	names := map[string]bool{}
+	for _, d := range all {
+		names[d.Name] = true
+		if d.Weighted == nil {
+			t.Fatalf("%s: nil graph", d.Name)
+		}
+		if err := d.Weighted.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if !d.Weighted.Weighted() {
+			t.Errorf("%s: data graphs must be weighted", d.Name)
+		}
+		if d.Weighted.Directed() {
+			t.Errorf("%s: paper data graphs are undirected", d.Name)
+		}
+		if len(d.Significance) != d.Weighted.NumNodes() {
+			t.Errorf("%s: %d significances for %d nodes", d.Name, len(d.Significance), d.Weighted.NumNodes())
+		}
+		if d.Group != GroupA && d.Group != GroupB && d.Group != GroupC {
+			t.Errorf("%s: bad group %q", d.Name, d.Group)
+		}
+		if d.EdgeMeaning == "" || d.SignificanceMeaning == "" || d.Dataset == "" {
+			t.Errorf("%s: missing documentation fields", d.Name)
+		}
+		u := d.Unweighted()
+		if u.Weighted() {
+			t.Errorf("%s: Unweighted() still weighted", d.Name)
+		}
+		if u.NumEdges() != d.Weighted.NumEdges() {
+			t.Errorf("%s: unweighted view changed structure", d.Name)
+		}
+	}
+	for _, want := range GraphNames() {
+		if !names[want] {
+			t.Errorf("missing graph %s", want)
+		}
+	}
+}
+
+func TestGroupAssignmentsMatchPaper(t *testing.T) {
+	want := map[string]Group{
+		IMDBMovieMovie:      GroupB,
+		IMDBActorActor:      GroupA,
+		DBLPArticleArticle:  GroupC,
+		DBLPAuthorAuthor:    GroupB,
+		LastfmListener:      GroupC,
+		LastfmArtistArtist:  GroupC,
+		EpinionsCommenter:   GroupA,
+		EpinionsProductProd: GroupA,
+	}
+	for _, d := range AllGraphs(smallCfg) {
+		if d.Group != want[d.Name] {
+			t.Errorf("%s: group %s, want %s", d.Name, d.Group, want[d.Name])
+		}
+	}
+}
+
+func TestGraphByName(t *testing.T) {
+	d, err := GraphByName(smallCfg, IMDBActorActor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != IMDBActorActor {
+		t.Errorf("got %s", d.Name)
+	}
+	if _, err := GraphByName(smallCfg, "no-such-graph"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestDataGraphDeterminism(t *testing.T) {
+	a, err := GraphByName(smallCfg, EpinionsProductProd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GraphByName(smallCfg, EpinionsProductProd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := graph.SortedEdges(a.Weighted), graph.SortedEdges(b.Weighted)
+	if len(ea) != len(eb) {
+		t.Fatal("nondeterministic edges")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	for i := range a.Significance {
+		if a.Significance[i] != b.Significance[i] {
+			t.Fatalf("significance %d differs", i)
+		}
+	}
+	// A different seed must actually change the data.
+	c, err := GraphByName(Config{Scale: 0.25, Seed: 99}, EpinionsProductProd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(graph.SortedEdges(c.Weighted)) == len(ea) {
+		same := true
+		ec := graph.SortedEdges(c.Weighted)
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small, err := GraphByName(Config{Scale: 0.2, Seed: 1}, DBLPAuthorAuthor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := GraphByName(Config{Scale: 0.6, Seed: 1}, DBLPAuthorAuthor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Weighted.NumNodes() <= small.Weighted.NumNodes() {
+		t.Errorf("scale 0.6 nodes %d !> scale 0.2 nodes %d",
+			big.Weighted.NumNodes(), small.Weighted.NumNodes())
+	}
+}
+
+func TestPlantedDegreeSignificanceSigns(t *testing.T) {
+	// The Figure-5 sign pattern is the contract the case studies rest on:
+	// Group-A graphs negative, Group-C positive.
+	for _, d := range AllGraphs(Config{Scale: 0.5, Seed: 42}) {
+		g := d.Unweighted()
+		deg := make([]float64, g.NumNodes())
+		for i := range deg {
+			deg[i] = float64(g.Degree(int32(i)))
+		}
+		rho := stats.Spearman(deg, d.Significance)
+		switch d.Group {
+		case GroupA:
+			if rho >= 0 {
+				t.Errorf("%s (A): corr(deg, sig) = %v, want negative", d.Name, rho)
+			}
+		case GroupC:
+			if rho <= 0.1 {
+				t.Errorf("%s (C): corr(deg, sig) = %v, want clearly positive", d.Name, rho)
+			}
+		case GroupB:
+			if rho < -0.15 || rho > 0.4 {
+				t.Errorf("%s (B): corr(deg, sig) = %v, want mild", d.Name, rho)
+			}
+		}
+	}
+}
+
+func TestTable3Asymmetry(t *testing.T) {
+	// The author/article contrast of Table 3: the article graph's median
+	// neighbor-degree stddev must far exceed the author graph's.
+	author, err := GraphByName(Config{Seed: 42}, DBLPAuthorAuthor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	article, err := GraphByName(Config{Seed: 42}, DBLPArticleArticle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := graph.ComputeStats(author.Unweighted())
+	sr := graph.ComputeStats(article.Unweighted())
+	if sr.MedianNeighborDegStdDev < 3*sa.MedianNeighborDegStdDev {
+		t.Errorf("article median neighbor σ %v vs author %v: want ≥ 3×",
+			sr.MedianNeighborDegStdDev, sa.MedianNeighborDegStdDev)
+	}
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*Result, error)
+}
+
+// Registry returns every experiment in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "PageRank–degree rank correlation", Table1},
+		{"table2", "node ranks across de-coupling weights", Table2},
+		{"table3", "data graph statistics", Table3},
+		{"fig1", "worked transition example", Figure1},
+		{"fig2", "Group A p-sweep", Figure2},
+		{"fig3", "Group B p-sweep", Figure3},
+		{"fig4", "Group C p-sweep", Figure4},
+		{"fig5", "degree–significance correlations", Figure5},
+		{"fig6", "Group A p×alpha", Figure6},
+		{"fig7", "Group B p×alpha", Figure7},
+		{"fig8", "Group C p×alpha", Figure8},
+		{"fig9", "Group A p×beta (weighted)", Figure9},
+		{"fig10", "Group B p×beta (weighted)", Figure10},
+		{"fig11", "Group C p×beta (weighted)", Figure11},
+		{"ablations", "design-choice ablations with bootstrap CIs", Ablations},
+	}
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// RunAndRender executes the experiment with the given id and renders it to w.
+func RunAndRender(r *Runner, id string, w io.Writer) error {
+	e, err := ByID(id)
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(r)
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return res.Render(w)
+}
+
+// RunAll executes every experiment in paper order, rendering each to w.
+func RunAll(r *Runner, w io.Writer) error {
+	for _, e := range Registry() {
+		res, err := e.Run(r)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

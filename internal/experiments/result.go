@@ -1,0 +1,105 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§4) from the synthetic data graphs. Each experiment returns a
+// renderable Result so the CLI, the benchmarks, and the tests share one code
+// path.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Result is the output of one experiment (one paper table or figure).
+type Result struct {
+	// ID is the experiment identifier, e.g. "table1" or "fig2".
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Sections hold one table per figure panel (the paper's multi-panel
+	// figures become multiple sections).
+	Sections []Section
+}
+
+// Section is a single rendered table with optional notes.
+type Section struct {
+	Heading string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the result as aligned text tables.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for i := range r.Sections {
+		if err := r.Sections[i].render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Section) render(w io.Writer) error {
+	if s.Heading != "" {
+		if _, err := fmt.Fprintf(w, "\n-- %s --\n", s.Heading); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return b.String()
+	}
+	if _, err := fmt.Fprintln(w, line(s.Columns)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range s.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, note := range s.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtF formats a float compactly for table cells.
+func fmtF(x float64) string { return fmt.Sprintf("%.4f", x) }
+
+// fmtP formats a de-coupling weight (short form).
+func fmtP(x float64) string {
+	s := fmt.Sprintf("%.1f", x)
+	return strings.TrimSuffix(s, ".0")
+}

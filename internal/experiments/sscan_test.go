@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// sscan parses a float from a table cell.
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

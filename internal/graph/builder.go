@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DupPolicy controls how the builder treats duplicate edges (same source and
+// target added more than once).
+type DupPolicy int
+
+const (
+	// DupSum merges duplicates, summing their weights. This is the default
+	// and matches co-occurrence projections, where the weight of an edge is
+	// the number of shared affiliations.
+	DupSum DupPolicy = iota
+	// DupKeepFirst merges duplicates, keeping the first weight.
+	DupKeepFirst
+	// DupError makes Build fail on the first duplicate.
+	DupError
+	// DupAllow keeps parallel edges as distinct arcs.
+	DupAllow
+)
+
+// Builder accumulates edges and freezes them into an immutable Graph.
+// The zero value is not usable; construct with NewBuilder.
+type Builder struct {
+	kind      Kind
+	weighted  bool
+	dup       DupPolicy
+	selfLoops bool
+	numNodes  int
+	srcs      []int32
+	dsts      []int32
+	ws        []float64
+	err       error
+}
+
+// NewBuilder returns a builder for a graph of the given kind. By default the
+// graph is unweighted, duplicate edges are summed, and self-loops are
+// rejected (none of the paper's co-occurrence graphs have them).
+func NewBuilder(kind Kind) *Builder {
+	return &Builder{kind: kind, dup: DupSum}
+}
+
+// Weighted declares that the graph carries edge weights. AddEdge weights are
+// ignored (treated as 1) unless this is set.
+func (b *Builder) Weighted() *Builder { b.weighted = true; return b }
+
+// Duplicates sets the duplicate-edge policy.
+func (b *Builder) Duplicates(p DupPolicy) *Builder { b.dup = p; return b }
+
+// AllowSelfLoops permits edges u→u. A self-loop on an undirected graph is
+// stored once (it contributes 1 to the node's degree).
+func (b *Builder) AllowSelfLoops() *Builder { b.selfLoops = true; return b }
+
+// EnsureNodes guarantees the built graph has at least n nodes, so isolated
+// nodes (with no edges) can exist. Node ids are dense in [0, n).
+func (b *Builder) EnsureNodes(n int) *Builder {
+	if n > b.numNodes {
+		b.numNodes = n
+	}
+	return b
+}
+
+// AddEdge records an edge u→v with weight 1.
+func (b *Builder) AddEdge(u, v int32) *Builder { return b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records an edge u→v with the given weight. Weights must be
+// positive and finite; the first violation is remembered and reported by
+// Build.
+func (b *Builder) AddWeightedEdge(u, v int32, w float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if u < 0 || v < 0 {
+		b.err = fmt.Errorf("graph: negative node id in edge %d→%d", u, v)
+		return b
+	}
+	if u == v && !b.selfLoops {
+		b.err = fmt.Errorf("graph: self-loop %d→%d (enable with AllowSelfLoops)", u, v)
+		return b
+	}
+	if !(w > 0) { // catches NaN, 0, negatives
+		b.err = fmt.Errorf("graph: edge %d→%d has non-positive weight %v", u, v, w)
+		return b
+	}
+	if int(u)+1 > b.numNodes {
+		b.numNodes = int(u) + 1
+	}
+	if int(v)+1 > b.numNodes {
+		b.numNodes = int(v) + 1
+	}
+	b.srcs = append(b.srcs, u)
+	b.dsts = append(b.dsts, v)
+	b.ws = append(b.ws, w)
+	return b
+}
+
+// NumPendingEdges returns the number of edges added so far (before
+// deduplication).
+func (b *Builder) NumPendingEdges() int { return len(b.srcs) }
+
+// Build freezes the accumulated edges into an immutable Graph. The builder
+// can be reused afterwards; it retains its accumulated edges.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	type arc struct {
+		src, dst int32
+		w        float64
+	}
+	// Materialize directed arcs: undirected edges get mirrored (self-loops
+	// stored once).
+	arcs := make([]arc, 0, len(b.srcs)*2)
+	for i := range b.srcs {
+		u, v, w := b.srcs[i], b.dsts[i], b.ws[i]
+		arcs = append(arcs, arc{u, v, w})
+		if b.kind == Undirected && u != v {
+			arcs = append(arcs, arc{v, u, w})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].src != arcs[j].src {
+			return arcs[i].src < arcs[j].src
+		}
+		return arcs[i].dst < arcs[j].dst
+	})
+	// Deduplicate.
+	if b.dup != DupAllow {
+		out := arcs[:0]
+		for _, a := range arcs {
+			if len(out) > 0 && out[len(out)-1].src == a.src && out[len(out)-1].dst == a.dst {
+				switch b.dup {
+				case DupSum:
+					out[len(out)-1].w += a.w
+				case DupKeepFirst:
+					// keep existing
+				case DupError:
+					return nil, fmt.Errorf("graph: duplicate edge %d→%d", a.src, a.dst)
+				}
+				continue
+			}
+			out = append(out, a)
+		}
+		arcs = out
+	}
+	n := b.numNodes
+	g := &Graph{
+		kind:    b.kind,
+		offsets: make([]int64, n+1),
+		targets: make([]int32, len(arcs)),
+	}
+	if b.weighted {
+		g.weights = make([]float64, len(arcs))
+	}
+	for i, a := range arcs {
+		g.offsets[a.src+1]++
+		g.targets[i] = a.dst
+		if b.weighted {
+			g.weights[i] = a.w
+		}
+	}
+	for u := 0; u < n; u++ {
+		g.offsets[u+1] += g.offsets[u]
+	}
+	// Logical edge count.
+	if b.kind == Undirected {
+		loops := 0
+		for u := int32(0); int(u) < n; u++ {
+			lo, hi := g.offsets[u], g.offsets[u+1]
+			for k := lo; k < hi; k++ {
+				if g.targets[k] == u {
+					loops++
+				}
+			}
+		}
+		g.numEdges = (len(arcs)-loops)/2 + loops
+	} else {
+		g.numEdges = len(arcs)
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; for tests and generators whose
+// inputs are known valid by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor for an unweighted graph from a flat
+// edge list.
+func FromEdges(kind Kind, edges [][2]int32) (*Graph, error) {
+	b := NewBuilder(kind)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromWeightedEdges is a convenience constructor for a weighted graph.
+type WeightedEdge struct {
+	U, V int32
+	W    float64
+}
+
+// FromWeighted builds a weighted graph from a flat weighted edge list.
+func FromWeighted(kind Kind, edges []WeightedEdge) (*Graph, error) {
+	b := NewBuilder(kind).Weighted()
+	for _, e := range edges {
+		b.AddWeightedEdge(e.U, e.V, e.W)
+	}
+	return b.Build()
+}

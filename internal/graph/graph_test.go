@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustBuild(t *testing.T, b *Builder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Undirected))
+	if g.NumNodes() != 0 || g.NumEdges() != 0 || g.NumArcs() != 0 {
+		t.Errorf("empty graph has n=%d m=%d arcs=%d", g.NumNodes(), g.NumEdges(), g.NumArcs())
+	}
+	var zero Graph
+	if zero.NumNodes() != 0 {
+		t.Errorf("zero value graph has %d nodes", zero.NumNodes())
+	}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero value Validate: %v", err)
+	}
+}
+
+func TestUndirectedTriangle(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Undirected).AddEdge(0, 1).AddEdge(1, 2).AddEdge(0, 2))
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3", g.NumEdges())
+	}
+	if g.NumArcs() != 6 {
+		t.Errorf("arcs = %d, want 6 (each edge mirrored)", g.NumArcs())
+	}
+	for u := int32(0); u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge must exist in both directions")
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("unexpected self-loop")
+	}
+}
+
+func TestDirectedEdgesNotMirrored(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Directed).AddEdge(0, 1).AddEdge(1, 2))
+	if g.NumEdges() != 2 || g.NumArcs() != 2 {
+		t.Fatalf("edges=%d arcs=%d, want 2/2", g.NumEdges(), g.NumArcs())
+	}
+	if g.HasEdge(1, 0) {
+		t.Error("directed graph must not mirror arcs")
+	}
+	in := g.InDegrees()
+	if in[0] != 0 || in[1] != 1 || in[2] != 1 {
+		t.Errorf("in-degrees = %v, want [0 1 1]", in)
+	}
+	if got := g.DanglingNodes(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("dangling = %v, want [2]", got)
+	}
+}
+
+func TestDuplicatePolicies(t *testing.T) {
+	t.Run("sum", func(t *testing.T) {
+		g := mustBuild(t, NewBuilder(Directed).Weighted().
+			AddWeightedEdge(0, 1, 2).AddWeightedEdge(0, 1, 3))
+		w, ok := g.EdgeWeight(0, 1)
+		if !ok || w != 5 {
+			t.Errorf("weight = %v/%v, want 5/true", w, ok)
+		}
+		if g.NumEdges() != 1 {
+			t.Errorf("edges = %d, want 1 after merge", g.NumEdges())
+		}
+	})
+	t.Run("keep-first", func(t *testing.T) {
+		g := mustBuild(t, NewBuilder(Directed).Weighted().Duplicates(DupKeepFirst).
+			AddWeightedEdge(0, 1, 2).AddWeightedEdge(0, 1, 3))
+		if w, _ := g.EdgeWeight(0, 1); w != 2 {
+			t.Errorf("weight = %v, want 2", w)
+		}
+	})
+	t.Run("error", func(t *testing.T) {
+		_, err := NewBuilder(Directed).Duplicates(DupError).
+			AddEdge(0, 1).AddEdge(0, 1).Build()
+		if err == nil {
+			t.Fatal("want duplicate error")
+		}
+	})
+	t.Run("allow", func(t *testing.T) {
+		g := mustBuild(t, NewBuilder(Directed).Duplicates(DupAllow).
+			AddEdge(0, 1).AddEdge(0, 1))
+		if g.NumArcs() != 2 {
+			t.Errorf("arcs = %d, want 2 parallel", g.NumArcs())
+		}
+	})
+}
+
+func TestSelfLoops(t *testing.T) {
+	if _, err := NewBuilder(Undirected).AddEdge(3, 3).Build(); err == nil {
+		t.Fatal("self-loop must be rejected by default")
+	}
+	g := mustBuild(t, NewBuilder(Undirected).AllowSelfLoops().AddEdge(0, 0).AddEdge(0, 1))
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", g.NumEdges())
+	}
+	// A self-loop on an undirected graph is stored once.
+	if g.Degree(0) != 2 {
+		t.Errorf("degree(0) = %d, want 2 (loop + edge)", g.Degree(0))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    *Builder
+		want string
+	}{
+		{"negative-id", NewBuilder(Directed).AddEdge(-1, 0), "negative"},
+		{"zero-weight", NewBuilder(Directed).Weighted().AddWeightedEdge(0, 1, 0), "non-positive"},
+		{"nan-weight", NewBuilder(Directed).Weighted().AddWeightedEdge(0, 1, math.NaN()), "non-positive"},
+		{"negative-weight", NewBuilder(Directed).Weighted().AddWeightedEdge(0, 1, -2), "non-positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.b.Build()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want contains %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEnsureNodesIsolated(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Undirected).EnsureNodes(10).AddEdge(0, 1))
+	if g.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", g.NumNodes())
+	}
+	if g.Degree(9) != 0 {
+		t.Errorf("degree(9) = %d, want isolated", g.Degree(9))
+	}
+	if got := len(g.DanglingNodes()); got != 8 {
+		t.Errorf("dangling count = %d, want 8", got)
+	}
+}
+
+func TestWeightedDegreeTheta(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Directed).Weighted().
+		AddWeightedEdge(0, 1, 2.5).AddWeightedEdge(0, 2, 1.5).AddWeightedEdge(1, 2, 4))
+	if got := g.WeightedDegree(0); got != 4 {
+		t.Errorf("Θ(0) = %v, want 4", got)
+	}
+	if got := g.WeightedDegree(2); got != 0 {
+		t.Errorf("Θ(2) = %v, want 0 (sink)", got)
+	}
+	// Unweighted graphs: Θ == degree.
+	u := mustBuild(t, NewBuilder(Undirected).AddEdge(0, 1).AddEdge(0, 2))
+	if got := u.WeightedDegree(0); got != 2 {
+		t.Errorf("unweighted Θ(0) = %v, want degree 2", got)
+	}
+}
+
+func TestArcAccessors(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Directed).Weighted().
+		AddWeightedEdge(0, 2, 7).AddWeightedEdge(0, 1, 3))
+	lo, hi := g.ArcRange(0)
+	if hi-lo != 2 {
+		t.Fatalf("arc range size = %d, want 2", hi-lo)
+	}
+	// Arcs are sorted by destination.
+	if g.ArcTarget(lo) != 1 || g.ArcTarget(lo+1) != 2 {
+		t.Errorf("targets = %d,%d, want 1,2", g.ArcTarget(lo), g.ArcTarget(lo+1))
+	}
+	if g.ArcWeight(lo) != 3 || g.ArcWeight(lo+1) != 7 {
+		t.Errorf("weights = %v,%v, want 3,7", g.ArcWeight(lo), g.ArcWeight(lo+1))
+	}
+	if g.TotalWeight() != 10 {
+		t.Errorf("total weight = %v, want 10", g.TotalWeight())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Directed).
+		AddEdge(0, 5).AddEdge(0, 2).AddEdge(0, 9).AddEdge(0, 1))
+	nb := g.Neighbors(0)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("neighbors not sorted: %v", nb)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Undirected).AddEdge(0, 1))
+	if got := g.String(); got != "undirected graph: 2 nodes, 1 edges" {
+		t.Errorf("String() = %q", got)
+	}
+	if Directed.String() != "directed" || Undirected.String() != "undirected" {
+		t.Error("Kind.String mismatch")
+	}
+}
+
+func TestDegreesVectors(t *testing.T) {
+	g := mustBuild(t, NewBuilder(Directed).AddEdge(0, 1).AddEdge(0, 2).AddEdge(2, 0))
+	wantOut := []int{2, 0, 1}
+	for i, w := range wantOut {
+		if g.Degrees()[i] != w {
+			t.Errorf("out degrees = %v, want %v", g.Degrees(), wantOut)
+			break
+		}
+	}
+	wantIn := []int{1, 1, 1}
+	for i, w := range wantIn {
+		if g.InDegrees()[i] != w {
+			t.Errorf("in degrees = %v, want %v", g.InDegrees(), wantIn)
+			break
+		}
+	}
+}
+
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	b := NewBuilder(Undirected).AddEdge(0, 1)
+	g1 := mustBuild(t, b)
+	b.AddEdge(1, 2)
+	g2 := mustBuild(t, b)
+	if g1.NumEdges() != 1 {
+		t.Errorf("first build mutated: %d edges", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("second build edges = %d, want 2", g2.NumEdges())
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild must panic on invalid input")
+		}
+	}()
+	NewBuilder(Undirected).AddEdge(0, 0).MustBuild()
+}

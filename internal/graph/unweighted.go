@@ -1,0 +1,77 @@
+package graph
+
+// StripWeights returns an unweighted view of g: same nodes, same arcs, no
+// weight array. The view shares the offsets/targets storage with g (both are
+// immutable), so the call is O(1). It is how the paper's "unweighted graph"
+// experiments reuse the weighted co-occurrence projections.
+func StripWeights(g *Graph) *Graph {
+	if g.weights == nil {
+		return g
+	}
+	return &Graph{
+		kind:     g.kind,
+		offsets:  g.offsets,
+		targets:  g.targets,
+		weights:  nil,
+		numEdges: g.numEdges,
+	}
+}
+
+// Reweight returns a view of g whose arc weights are produced by fn, which
+// receives (src, dst, oldWeight) for every stored arc. Offsets and targets
+// are shared with g; the weight array is fresh. Callers must keep undirected
+// weights symmetric: fn(u, v, w) should equal fn(v, u, w).
+func Reweight(g *Graph, fn func(u, v int32, w float64) float64) *Graph {
+	n := g.NumNodes()
+	out := &Graph{
+		kind:     g.kind,
+		offsets:  g.offsets,
+		targets:  g.targets,
+		weights:  make([]float64, len(g.targets)),
+		numEdges: g.numEdges,
+	}
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		for k := lo; k < hi; k++ {
+			out.weights[k] = fn(u, g.targets[k], g.ArcWeight(k))
+		}
+	}
+	return out
+}
+
+// CommonNeighborWeights returns a weighted view of the (undirected) graph g
+// where every edge {u,v} is weighted by |N(u) ∩ N(v)| + 1. This is how the
+// paper derives the weighted listener-listener graph ("edge weights denote
+// the number of shared friends"); the +1 keeps weights positive for edges
+// whose endpoints share no neighbor.
+func CommonNeighborWeights(g *Graph) *Graph {
+	n := g.NumNodes()
+	mark := make([]int32, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	out := &Graph{
+		kind:     g.kind,
+		offsets:  g.offsets,
+		targets:  g.targets,
+		weights:  make([]float64, len(g.targets)),
+		numEdges: g.numEdges,
+	}
+	for u := int32(0); int(u) < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			mark[v] = u
+		}
+		lo, hi := g.offsets[u], g.offsets[u+1]
+		for k := lo; k < hi; k++ {
+			v := g.targets[k]
+			shared := 0
+			for _, w := range g.Neighbors(v) {
+				if w != u && mark[w] == u {
+					shared++
+				}
+			}
+			out.weights[k] = float64(shared + 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+// Package server exposes the ranking library as a small JSON-over-HTTP
+// service: load a graph once, answer ranking queries for any (algorithm, p,
+// β, α, seeds) configuration. It is the deployment shape a recommendation
+// backend would actually use — rank vectors are cached per configuration so
+// repeated top-k queries cost one map lookup.
+//
+// Endpoints:
+//
+//	GET /v1/graph                 → graph summary + Table-3 statistics
+//	GET /v1/rank?algo=d2pr&p=0.5&top=10
+//	                              → ranking (full scores or top-k)
+//	GET /v1/node/{id}?p=0.5       → one node's score, rank, degree
+//	GET /v1/correlate?p=0.5       → Spearman correlation with the loaded
+//	                                significance vector (if any)
+//	GET /healthz                  → liveness
+//
+// All handlers are safe for concurrent use.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"d2pr/internal/core"
+	"d2pr/internal/graph"
+	"d2pr/internal/stats"
+)
+
+// Server serves ranking queries over one immutable graph.
+type Server struct {
+	g   *graph.Graph
+	sig []float64 // optional significance vector (may be nil)
+
+	mu    sync.Mutex
+	cache map[string][]float64 // config key → scores
+}
+
+// New creates a Server for the given graph. significance may be nil; it
+// enables /v1/correlate when present (length must then match the node
+// count).
+func New(g *graph.Graph, significance []float64) (*Server, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, errors.New("server: graph is empty")
+	}
+	if significance != nil && len(significance) != g.NumNodes() {
+		return nil, fmt.Errorf("server: %d significances for %d nodes", len(significance), g.NumNodes())
+	}
+	return &Server{g: g, sig: significance, cache: map[string][]float64{}}, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/graph", s.handleGraph)
+	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/node/", s.handleNode)
+	mux.HandleFunc("/v1/correlate", s.handleCorrelate)
+	return mux
+}
+
+// rankQuery is the parsed, canonicalized query configuration.
+type rankQuery struct {
+	Algo  string
+	P     float64
+	Beta  float64
+	Alpha float64
+	Seeds []int32
+}
+
+func (q rankQuery) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|p=%g|beta=%g|alpha=%g|seeds=", q.Algo, q.P, q.Beta, q.Alpha)
+	for i, s := range q.Seeds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	return b.String()
+}
+
+// parseRankQuery extracts and validates the ranking parameters.
+func (s *Server) parseRankQuery(r *http.Request) (rankQuery, error) {
+	q := rankQuery{Algo: "d2pr", Alpha: core.DefaultAlpha}
+	vals := r.URL.Query()
+	if a := vals.Get("algo"); a != "" {
+		q.Algo = a
+	}
+	var err error
+	parseF := func(name string, dst *float64) error {
+		if v := vals.Get(name); v != "" {
+			*dst, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s %q", name, v)
+			}
+		}
+		return nil
+	}
+	if err := parseF("p", &q.P); err != nil {
+		return q, err
+	}
+	if err := parseF("beta", &q.Beta); err != nil {
+		return q, err
+	}
+	if err := parseF("alpha", &q.Alpha); err != nil {
+		return q, err
+	}
+	if q.Alpha <= 0 || q.Alpha >= 1 {
+		return q, fmt.Errorf("alpha %v out of (0, 1)", q.Alpha)
+	}
+	if q.Beta < 0 || q.Beta > 1 {
+		return q, fmt.Errorf("beta %v out of [0, 1]", q.Beta)
+	}
+	if seeds := vals.Get("seeds"); seeds != "" {
+		for _, part := range strings.Split(seeds, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || id < 0 || id >= s.g.NumNodes() {
+				return q, fmt.Errorf("bad seed %q", part)
+			}
+			q.Seeds = append(q.Seeds, int32(id))
+		}
+	}
+	switch q.Algo {
+	case "d2pr", "pagerank", "hits", "degree":
+	default:
+		return q, fmt.Errorf("unknown algo %q (want d2pr|pagerank|hits|degree)", q.Algo)
+	}
+	return q, nil
+}
+
+// scores computes (or returns cached) scores for a configuration.
+func (s *Server) scores(q rankQuery) ([]float64, error) {
+	key := q.key()
+	s.mu.Lock()
+	if cached, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return cached, nil
+	}
+	s.mu.Unlock()
+
+	opts := core.Options{Alpha: q.Alpha}
+	if len(q.Seeds) > 0 {
+		tele := make([]float64, s.g.NumNodes())
+		for _, sd := range q.Seeds {
+			tele[sd] = 1
+		}
+		opts.Teleport = tele
+	}
+	var out []float64
+	switch q.Algo {
+	case "d2pr":
+		t, err := core.Blended(s.g, q.P, q.Beta)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Solve(t, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = res.Scores
+	case "pagerank":
+		res, err := core.PageRank(s.g, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = res.Scores
+	case "hits":
+		res, err := core.HITS(s.g, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = res.Authorities
+	case "degree":
+		out = core.DegreeCentrality(s.g)
+	}
+	s.mu.Lock()
+	s.cache[key] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// GraphInfo is the /v1/graph response body.
+type GraphInfo struct {
+	Kind            string  `json:"kind"`
+	Weighted        bool    `json:"weighted"`
+	Nodes           int     `json:"nodes"`
+	Edges           int     `json:"edges"`
+	AvgDegree       float64 `json:"avg_degree"`
+	DegreeStdDev    float64 `json:"degree_stddev"`
+	MedianNbrStdDev float64 `json:"median_neighbor_degree_stddev"`
+	HasSignificance bool    `json:"has_significance"`
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	st := graph.ComputeStats(s.g)
+	writeJSON(w, http.StatusOK, GraphInfo{
+		Kind:            s.g.Kind().String(),
+		Weighted:        s.g.Weighted(),
+		Nodes:           st.Nodes,
+		Edges:           st.Edges,
+		AvgDegree:       st.AvgDegree,
+		DegreeStdDev:    st.DegreeStdDev,
+		MedianNbrStdDev: st.MedianNeighborDegStdDev,
+		HasSignificance: s.sig != nil,
+	})
+}
+
+// RankEntry is one row of a top-k response.
+type RankEntry struct {
+	Rank   int     `json:"rank"`
+	Node   int32   `json:"node"`
+	Degree int     `json:"degree"`
+	Score  float64 `json:"score"`
+}
+
+// RankResponse is the /v1/rank response body.
+type RankResponse struct {
+	Config string      `json:"config"`
+	Top    []RankEntry `json:"top,omitempty"`
+	Scores []float64   `json:"scores,omitempty"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	q, err := s.parseRankQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := s.scores(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := RankResponse{Config: q.key()}
+	if topStr := r.URL.Query().Get("top"); topStr != "" {
+		k, err := strconv.Atoi(topStr)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", topStr))
+			return
+		}
+		for i, u := range stats.TopK(scores, k) {
+			resp.Top = append(resp.Top, RankEntry{
+				Rank: i + 1, Node: int32(u), Degree: s.g.Degree(int32(u)), Score: scores[u],
+			})
+		}
+	} else {
+		resp.Scores = scores
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// NodeResponse is the /v1/node/{id} response body.
+type NodeResponse struct {
+	Node   int32   `json:"node"`
+	Degree int     `json:"degree"`
+	Score  float64 `json:"score"`
+	Rank   int     `json:"rank"`
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/node/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 || id >= s.g.NumNodes() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown node %q", idStr))
+		return
+	}
+	q, err := s.parseRankQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := s.scores(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, NodeResponse{
+		Node:   int32(id),
+		Degree: s.g.Degree(int32(id)),
+		Score:  scores[id],
+		Rank:   stats.RankOf(scores, id),
+	})
+}
+
+// CorrelateResponse is the /v1/correlate response body.
+type CorrelateResponse struct {
+	Config   string  `json:"config"`
+	Spearman float64 `json:"spearman"`
+	DegreeR  float64 `json:"degree_spearman"`
+}
+
+func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
+	if s.sig == nil {
+		writeError(w, http.StatusNotFound, errors.New("no significance vector loaded"))
+		return
+	}
+	q, err := s.parseRankQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	scores, err := s.scores(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	deg := make([]float64, s.g.NumNodes())
+	for i := range deg {
+		deg[i] = float64(s.g.Degree(int32(i)))
+	}
+	writeJSON(w, http.StatusOK, CorrelateResponse{
+		Config:   q.key(),
+		Spearman: stats.Spearman(scores, s.sig),
+		DegreeR:  stats.Spearman(scores, deg),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Too late to change the status; nothing useful to do.
+		_ = err
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"d2pr/internal/graph"
+)
+
+func testServer(t *testing.T, withSig bool) *httptest.Server {
+	t.Helper()
+	g, err := graph.FromEdges(graph.Undirected, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 4}, {4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sig []float64
+	if withSig {
+		sig = []float64{0.1, 0.9, 0.4, 0.8, 0.3, 0.7}
+	}
+	s, err := New(g, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t, false)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	ts := testServer(t, true)
+	var info GraphInfo
+	if code := getJSON(t, ts.URL+"/v1/graph", &info); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if info.Nodes != 6 || info.Edges != 6 || info.Kind != "undirected" {
+		t.Errorf("info = %+v", info)
+	}
+	if !info.HasSignificance {
+		t.Error("significance flag missing")
+	}
+}
+
+func TestRankTopK(t *testing.T) {
+	ts := testServer(t, false)
+	var resp RankResponse
+	if code := getJSON(t, ts.URL+"/v1/rank?algo=d2pr&p=2&top=3", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Top) != 3 {
+		t.Fatalf("top entries = %d", len(resp.Top))
+	}
+	if resp.Top[0].Rank != 1 || resp.Top[0].Score < resp.Top[2].Score {
+		t.Errorf("top-k not ordered: %+v", resp.Top)
+	}
+	if len(resp.Scores) != 0 {
+		t.Error("full scores must be omitted with top")
+	}
+}
+
+func TestRankFullScores(t *testing.T) {
+	ts := testServer(t, false)
+	var resp RankResponse
+	if code := getJSON(t, ts.URL+"/v1/rank", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Scores) != 6 {
+		t.Fatalf("scores = %d", len(resp.Scores))
+	}
+	var sum float64
+	for _, s := range resp.Scores {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("score sum = %v", sum)
+	}
+}
+
+func TestRankAlgorithms(t *testing.T) {
+	ts := testServer(t, false)
+	for _, algo := range []string{"d2pr", "pagerank", "hits", "degree"} {
+		var resp RankResponse
+		if code := getJSON(t, fmt.Sprintf("%s/v1/rank?algo=%s", ts.URL, algo), &resp); code != 200 {
+			t.Errorf("%s: status %d", algo, code)
+		}
+	}
+}
+
+func TestRankSeeds(t *testing.T) {
+	ts := testServer(t, false)
+	var seeded, plain RankResponse
+	getJSON(t, ts.URL+"/v1/rank?seeds=5", &seeded)
+	getJSON(t, ts.URL+"/v1/rank", &plain)
+	if seeded.Scores[5] <= plain.Scores[5] {
+		t.Error("seeding node 5 must raise its score")
+	}
+}
+
+func TestRankBadInputs(t *testing.T) {
+	ts := testServer(t, false)
+	for _, q := range []string{
+		"algo=bogus", "p=x", "alpha=2", "beta=-1", "seeds=99", "seeds=zz", "top=0", "top=x",
+	} {
+		if code := getJSON(t, ts.URL+"/v1/rank?"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("query %q: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestNodeEndpoint(t *testing.T) {
+	ts := testServer(t, false)
+	var resp NodeResponse
+	if code := getJSON(t, ts.URL+"/v1/node/0?p=0", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Node != 0 || resp.Degree != 3 || resp.Rank < 1 {
+		t.Errorf("node response = %+v", resp)
+	}
+	if code := getJSON(t, ts.URL+"/v1/node/99", nil); code != http.StatusNotFound {
+		t.Errorf("unknown node: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/node/xyz", nil); code != http.StatusNotFound {
+		t.Errorf("bad node id: status %d, want 404", code)
+	}
+}
+
+func TestCorrelateEndpoint(t *testing.T) {
+	withSig := testServer(t, true)
+	var resp CorrelateResponse
+	if code := getJSON(t, withSig.URL+"/v1/correlate?p=1", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if resp.Spearman < -1 || resp.Spearman > 1 || resp.DegreeR < -1 || resp.DegreeR > 1 {
+		t.Errorf("correlations out of range: %+v", resp)
+	}
+	noSig := testServer(t, false)
+	if code := getJSON(t, noSig.URL+"/v1/correlate", nil); code != http.StatusNotFound {
+		t.Errorf("no significance: status %d, want 404", code)
+	}
+}
+
+func TestCacheStability(t *testing.T) {
+	ts := testServer(t, false)
+	var a, b RankResponse
+	getJSON(t, ts.URL+"/v1/rank?p=1.5", &a)
+	getJSON(t, ts.URL+"/v1/rank?p=1.5", &b)
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			t.Fatal("cached result differs")
+		}
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t, true)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			url := fmt.Sprintf("%s/v1/rank?p=%d&top=3", ts.URL, i%4)
+			resp, err := http.Get(url)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil graph must error")
+	}
+	g, _ := graph.FromEdges(graph.Undirected, [][2]int32{{0, 1}})
+	if _, err := New(g, []float64{1}); err == nil {
+		t.Error("significance length mismatch must error")
+	}
+}

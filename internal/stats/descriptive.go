@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// sortFloats sorts xs ascending in place.
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+// sortSliceStable stably sorts idx with the provided comparator.
+func sortSliceStable(idx []int, less func(a, b int) bool) {
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than one
+// observation).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs without modifying it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. It does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return minOf(xs)
+	}
+	if q >= 1 {
+		return maxOf(xs)
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	return minOf(xs), maxOf(xs)
+}
+
+// Normalize scales xs in place so it sums to 1. If the sum is zero it sets
+// the uniform distribution. It returns xs for chaining.
+func Normalize(xs []float64) []float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+	return xs
+}
+
+// L1Distance returns Σ|xs[i]-ys[i]|.
+func L1Distance(xs, ys []float64) float64 {
+	checkSameLen("L1Distance", xs, ys)
+	var s float64
+	for i := range xs {
+		s += math.Abs(xs[i] - ys[i])
+	}
+	return s
+}
+
+// ArgMax returns the index of the largest element (smallest index wins ties).
+// It returns -1 for empty input.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
