@@ -1,87 +1,169 @@
-// Command d2pr-server serves D2PR rankings over HTTP for one graph.
+// Command d2pr-server serves D2PR rankings over HTTP for a registry of
+// named graphs.
 //
 // Usage:
 //
-//	d2pr-server -listen :8080 graph.tsv
+//	d2pr-server -graphs ./data                  # every edge list in ./data
+//	d2pr-server -datasets                       # all eight synthetic paper graphs
+//	d2pr-server -dataset imdb-actor-actor       # one synthetic graph
 //	d2pr-server -weighted -sig scores.tsv graph.tsv
-//	d2pr-server -dataset imdb-actor-actor       # serve a synthetic data graph
+//	d2pr-server -graphs ./data -cache-size 512 -warm p=0,0.5,1
 //
-// Endpoints: /healthz, /v1/graph, /v1/rank, /v1/node/{id}, /v1/correlate —
-// see internal/server for the API documentation.
+// Sources combine: -graphs, -dataset/-datasets, and a positional edge-list
+// file may all be given together. Graphs load lazily on first request;
+// -warm precomputes the given d2pr de-coupling weights for every registered
+// graph in the background at startup.
+//
+// Endpoints: /healthz, /metrics, /v1/graphs, /v1/{graph}/info,
+// /v1/{graph}/rank, /v1/{graph}/topk, /v1/{graph}/node/{id},
+// /v1/{graph}/correlate — see docs/server-api.md for the full contract.
+//
+// The server drains in-flight requests on SIGINT/SIGTERM before exiting
+// (10-second grace period).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	"d2pr/internal/dataset"
 	"d2pr/internal/graph"
+	"d2pr/internal/registry"
 	"d2pr/internal/server"
 )
 
 func main() {
 	var (
 		listen    = flag.String("listen", ":8080", "listen address")
-		directed  = flag.Bool("directed", false, "treat the edge list as directed")
-		weighted  = flag.Bool("weighted", false, "read a weight column")
-		sigPath   = flag.String("sig", "", "optional per-node significance file")
-		dataGraph = flag.String("dataset", "", "serve a built-in synthetic data graph instead of a file")
+		graphsDir = flag.String("graphs", "", "directory of edge-list files to register (name = file base name)")
+		directed  = flag.Bool("directed", false, "treat positional edge-list files as directed")
+		weighted  = flag.Bool("weighted", false, "read a weight column from positional edge-list files")
+		sigPath   = flag.String("sig", "", "optional per-node significance file for the positional graph")
+		dataGraph = flag.String("dataset", "", "also serve one built-in synthetic data graph")
+		datasets  = flag.Bool("datasets", false, "also serve all eight built-in synthetic data graphs")
 		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale")
 		seed      = flag.Uint64("seed", 42, "synthetic dataset seed")
+		cacheSize = flag.Int("cache-size", 0, "max resident score vectors (0 = default 256)")
+		warm      = flag.String("warm", "", "background-warm d2pr at these de-coupling weights, e.g. p=0,0.5,1")
+		quiet     = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
 
-	var (
-		g   *graph.Graph
-		sig []float64
-		err error
-	)
-	switch {
-	case *dataGraph != "":
-		var d *dataset.DataGraph
-		d, err = dataset.GraphByName(dataset.Config{Scale: *scale, Seed: *seed}, *dataGraph)
+	reg := registry.New()
+	dsCfg := dataset.Config{Scale: *scale, Seed: *seed}
+
+	if *graphsDir != "" {
+		n, err := reg.LoadDir(*graphsDir)
 		if err != nil {
 			log.Fatalf("d2pr-server: %v", err)
 		}
-		g, sig = d.Weighted, d.Significance
-	case flag.NArg() == 1:
-		f, ferr := os.Open(flag.Arg(0))
-		if ferr != nil {
-			log.Fatalf("d2pr-server: %v", ferr)
+		log.Printf("registered %d graphs from %s", n, *graphsDir)
+	}
+	if *dataGraph != "" && *datasets {
+		log.Fatal("d2pr-server: -dataset is redundant with -datasets; pass one or the other")
+	}
+	if *datasets {
+		if err := reg.AddAllDatasets(dsCfg); err != nil {
+			log.Fatalf("d2pr-server: %v", err)
 		}
+	}
+	if *dataGraph != "" {
+		if err := reg.AddDataset(*dataGraph, dsCfg); err != nil {
+			log.Fatalf("d2pr-server: %v", err)
+		}
+	}
+	if *sigPath != "" && flag.NArg() != 1 {
+		log.Fatalf("d2pr-server: -sig needs exactly one positional edge-list file, got %d", flag.NArg())
+	}
+	for _, path := range flag.Args() {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		kind := graph.Undirected
 		if *directed {
 			kind = graph.Directed
 		}
-		g, err = graph.ReadEdgeList(f, kind, *weighted)
-		f.Close()
-		if err != nil {
+		if err := reg.AddFile(name, path, kind, *weighted, *sigPath); err != nil {
 			log.Fatalf("d2pr-server: %v", err)
 		}
-		if *sigPath != "" {
-			sf, serr := os.Open(*sigPath)
-			if serr != nil {
-				log.Fatalf("d2pr-server: %v", serr)
-			}
-			sig, err = graph.ReadScores(sf)
-			sf.Close()
-			if err != nil {
-				log.Fatalf("d2pr-server: %v", err)
-			}
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "d2pr-server: need an edge-list file or -dataset")
+	}
+	if reg.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "d2pr-server: no graphs: need -graphs, -dataset(s), or an edge-list file")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	srv, err := server.New(g, sig)
+	cfg := server.Config{CacheSize: *cacheSize}
+	if !*quiet {
+		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	srv, err := server.NewMulti(reg, cfg)
 	if err != nil {
 		log.Fatalf("d2pr-server: %v", err)
 	}
-	log.Printf("serving %v on %s", g, *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+
+	if *warm != "" {
+		ps, err := parseWarm(*warm)
+		if err != nil {
+			log.Fatalf("d2pr-server: %v", err)
+		}
+		done := srv.Warm(ps, 0, 2)
+		go func() {
+			started := time.Now()
+			<-done
+			log.Printf("warm sweep %v over %d graphs done in %s", ps, reg.Len(), time.Since(started).Round(time.Millisecond))
+		}()
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d graphs (%s) on %s", reg.Len(), strings.Join(reg.Names(), ", "), *listen)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("d2pr-server: %v", err)
+	case <-ctx.Done():
+		log.Print("shutting down…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Print("d2pr-server: grace period expired with requests still in flight; connections closed forcibly")
+			} else {
+				log.Printf("d2pr-server: shutdown: %v", err)
+			}
+		}
+	}
+}
+
+// parseWarm parses the -warm spec "p=0,0.5,1" (the "p=" prefix is optional).
+func parseWarm(spec string) ([]float64, error) {
+	spec = strings.TrimPrefix(spec, "p=")
+	var ps []float64
+	for _, part := range strings.Split(spec, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -warm value %q", part)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, errors.New("empty -warm spec")
+	}
+	return ps, nil
 }

@@ -1,0 +1,3 @@
+module d2pr
+
+go 1.24

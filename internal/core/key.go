@@ -1,0 +1,63 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CacheKey returns a canonical string identifying the solver configuration
+// for result caching: two Options values that produce identical solver
+// behavior map to the same key, regardless of whether defaults were spelled
+// out or left zero. Workers is intentionally excluded — it changes wall-clock
+// time, never the fixpoint.
+//
+// The teleport vector is folded in as an FNV-1a digest of its normalized
+// entries, so personalized configurations get distinct keys without embedding
+// n floats in the key string.
+func (o Options) CacheKey() string {
+	if o.Alpha == 0 {
+		o.Alpha = DefaultAlpha
+	}
+	if o.Tol == 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "alpha=%g|tol=%g|maxiter=%d", o.Alpha, o.Tol, o.MaxIter)
+	if o.Teleport != nil {
+		fmt.Fprintf(&b, "|tele=%016x", teleportDigest(o.Teleport))
+	}
+	return b.String()
+}
+
+// teleportDigest hashes the normalized teleport distribution so that scaled
+// copies of the same distribution (which the solver normalizes anyway)
+// collide on purpose.
+func teleportDigest(t []float64) uint64 {
+	var sum float64
+	for _, v := range t {
+		sum += v
+	}
+	inv := 1.0
+	if sum > 0 {
+		inv = 1 / sum
+	}
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	var h uint64 = offset64
+	var buf [8]byte
+	for _, v := range t {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v*inv))
+		for _, c := range buf {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	return h
+}

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+func TestCacheKeyCanonicalizesDefaults(t *testing.T) {
+	zero := Options{}.CacheKey()
+	spelled := Options{Alpha: DefaultAlpha, Tol: DefaultTol, MaxIter: DefaultMaxIter}.CacheKey()
+	if zero != spelled {
+		t.Errorf("zero options %q != spelled-out defaults %q", zero, spelled)
+	}
+}
+
+func TestCacheKeyIgnoresWorkers(t *testing.T) {
+	a := Options{Workers: 0}.CacheKey()
+	b := Options{Workers: 8}.CacheKey()
+	if a != b {
+		t.Errorf("Workers must not affect the cache key: %q vs %q", a, b)
+	}
+}
+
+func TestCacheKeyDistinguishesSolverParams(t *testing.T) {
+	base := Options{}.CacheKey()
+	for name, o := range map[string]Options{
+		"alpha":   {Alpha: 0.5},
+		"tol":     {Tol: 1e-6},
+		"maxiter": {MaxIter: 10},
+		"tele":    {Teleport: []float64{1, 0, 0}},
+	} {
+		if o.CacheKey() == base {
+			t.Errorf("%s change must change the key", name)
+		}
+	}
+}
+
+func TestCacheKeyTeleportNormalized(t *testing.T) {
+	a := Options{Teleport: []float64{1, 2, 1}}.CacheKey()
+	b := Options{Teleport: []float64{2, 4, 2}}.CacheKey()
+	if a != b {
+		t.Errorf("scaled teleport vectors solve identically and must share a key: %q vs %q", a, b)
+	}
+	c := Options{Teleport: []float64{2, 1, 1}}.CacheKey()
+	if a == c {
+		t.Error("different teleport distributions must not collide")
+	}
+}

@@ -1,0 +1,242 @@
+// Package rankcache is the serving layer's result cache: an LRU over
+// computed score vectors keyed by the full ranking configuration
+// (graph, algorithm/transition kind, p, β, solver options), with
+// single-flight deduplication so that N concurrent identical requests cost
+// one power-iteration solve, and optional background warming of a
+// configured parameter sweep.
+//
+// A cached value is an immutable []float64 shared by every reader; callers
+// must not modify it.
+package rankcache
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Key identifies one ranking configuration. Build it with NewKey so the
+// component order (and therefore cache identity) stays canonical.
+type Key string
+
+// NewKey derives the canonical cache key for a ranking configuration.
+// graphName names the registry entry, algo the transition/algorithm kind
+// (e.g. "d2pr", "pagerank"), p and beta the de-coupling parameters, and
+// optsKey the solver-option component (core.Options.CacheKey()). Algorithms
+// that ignore p/β (degree, hits) should pass zeros so equivalent requests
+// collide.
+func NewKey(graphName, algo string, p, beta float64, optsKey string) Key {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|p=%g|beta=%g|%s", graphName, algo, p, beta, optsKey)
+	return Key(b.String())
+}
+
+// ComputeFunc produces the score vector for a key on a cache miss.
+type ComputeFunc func() ([]float64, error)
+
+// call is an in-flight computation shared by concurrent requesters.
+type call struct {
+	done chan struct{}
+	val  []float64
+	err  error
+}
+
+// cacheEntry is one resident LRU slot.
+type cacheEntry struct {
+	key Key
+	val []float64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Shared counts requests that piggybacked on another request's
+	// in-flight solve (single-flight deduplication).
+	Shared uint64 `json:"shared"`
+	Len    int    `json:"len"`
+	Cap    int    `json:"cap"`
+}
+
+// Cache is a concurrency-safe LRU of score vectors with single-flight
+// computation. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	index    map[Key]*list.Element
+	inflight map[Key]*call
+	stats    Stats
+}
+
+// DefaultCapacity is the cache size used when New is given a non-positive
+// capacity. Score vectors are 8 bytes per node, so 256 resident vectors on a
+// million-node graph is ~2 GiB — size the cache to the deployment.
+const DefaultCapacity = 256
+
+// New returns a Cache holding at most capacity score vectors.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		index:    map[Key]*list.Element{},
+		inflight: map[Key]*call{},
+	}
+}
+
+// Lookup returns the cached scores for key without computing anything. It
+// counts as a use for LRU purposes but does not touch hit/miss counters.
+func (c *Cache) Lookup(key Key) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
+}
+
+// Get returns the scores for key, computing them with compute on a miss.
+// Concurrent Gets for the same key share one compute call (single-flight);
+// the piggybacking callers block until the leader finishes. Errors are not
+// cached — a later Get retries the computation.
+func (c *Cache) Get(key Key, compute ComputeFunc) ([]float64, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// A panicking compute must not poison the key: waiters are parked on
+	// cl.done and future Gets would block on the stale inflight entry
+	// forever. Convert the panic into an error for the waiters, release
+	// them, then re-panic in the leader.
+	defer func() {
+		if r := recover(); r != nil {
+			cl.err = fmt.Errorf("rankcache: compute for %q panicked: %v", key, r)
+			c.finish(key, cl)
+			panic(r)
+		}
+	}()
+	cl.val, cl.err = compute()
+	c.finish(key, cl)
+	return cl.val, cl.err
+}
+
+// finish publishes a completed in-flight call: stores the value on success,
+// releases the waiters, and retires the inflight entry.
+func (c *Cache) finish(key Key, cl *call) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if cl.err == nil {
+		c.insert(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// insert adds a computed value and evicts from the LRU tail past capacity.
+// Callers hold c.mu.
+func (c *Cache) insert(key Key, val []float64) {
+	if el, ok := c.index[key]; ok {
+		// A concurrent leader for the same key already inserted; refresh.
+		c.lru.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.index[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.index, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of resident score vectors.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Keys returns the resident keys from most to least recently used.
+// Primarily a testing and introspection aid.
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Len = c.lru.Len()
+	st.Cap = c.capacity
+	return st
+}
+
+// Job is one warming unit: a key and how to compute it.
+type Job struct {
+	Key     Key
+	Compute ComputeFunc
+}
+
+// Warm computes the given jobs in the background with the given parallelism
+// (min 1) and returns a channel that closes when the sweep finishes. Jobs
+// whose keys are already resident are skipped; individual job errors are
+// dropped — warming is best-effort by design, a failed entry simply stays
+// cold.
+func (c *Cache) Warm(jobs []Job, parallelism int) <-chan struct{} {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	done := make(chan struct{})
+	work := make(chan Job)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for i := 0; i < parallelism; i++ {
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				if _, ok := c.Lookup(j.Key); ok {
+					continue
+				}
+				_, _ = c.Get(j.Key, j.Compute)
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}

@@ -1,0 +1,234 @@
+package rankcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func constant(v float64) ComputeFunc {
+	return func() ([]float64, error) { return []float64{v}, nil }
+}
+
+func TestNewKeyCanonical(t *testing.T) {
+	a := NewKey("g", "d2pr", 0.5, 0, "alpha=0.85")
+	b := NewKey("g", "d2pr", 0.5, 0, "alpha=0.85")
+	if a != b {
+		t.Errorf("identical configs → different keys: %q vs %q", a, b)
+	}
+	for _, other := range []Key{
+		NewKey("h", "d2pr", 0.5, 0, "alpha=0.85"),
+		NewKey("g", "pagerank", 0.5, 0, "alpha=0.85"),
+		NewKey("g", "d2pr", 1.5, 0, "alpha=0.85"),
+		NewKey("g", "d2pr", 0.5, 1, "alpha=0.85"),
+		NewKey("g", "d2pr", 0.5, 0, "alpha=0.9"),
+	} {
+		if a == other {
+			t.Errorf("distinct configs collide on %q", a)
+		}
+	}
+}
+
+func TestGetComputesOnceAndCaches(t *testing.T) {
+	c := New(4)
+	var calls int32
+	compute := func() ([]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		return []float64{42}, nil
+	}
+	for i := 0; i < 5; i++ {
+		v, err := c.Get("k", compute)
+		if err != nil || v[0] != 42 {
+			t.Fatalf("get: %v %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(3)
+	for i := 1; i <= 3; i++ {
+		c.Get(Key(fmt.Sprintf("k%d", i)), constant(float64(i)))
+	}
+	// Touch k1 so k2 becomes the least recently used.
+	if _, ok := c.Lookup("k1"); !ok {
+		t.Fatal("k1 must be resident")
+	}
+	c.Get("k4", constant(4)) // evicts k2
+	if _, ok := c.Lookup("k2"); ok {
+		t.Error("k2 must have been evicted (LRU)")
+	}
+	for _, k := range []Key{"k1", "k3", "k4"} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Errorf("%s must be resident", k)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	// Keys() reports MRU → LRU.
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "k4" {
+		t.Errorf("keys = %v, want k4 first", keys)
+	}
+}
+
+func TestEvictedKeyRecomputes(t *testing.T) {
+	c := New(1)
+	var calls int32
+	compute := func() ([]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		return []float64{1}, nil
+	}
+	c.Get("a", compute)
+	c.Get("b", constant(2)) // evicts a
+	c.Get("a", compute)
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (recompute after eviction)", calls)
+	}
+}
+
+// TestSingleFlight: concurrent identical requests must share one compute.
+func TestSingleFlight(t *testing.T) {
+	c := New(4)
+	var calls int32
+	release := make(chan struct{})
+	compute := func() ([]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		<-release // hold every concurrent caller in flight
+		return []float64{7}, nil
+	}
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([][]float64, n)
+	wg.Add(n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			v, err := c.Get("hot", compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(release)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Errorf("compute ran %d times under concurrency, want 1", calls)
+	}
+	for i := 1; i < n; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatal("waiters must share the leader's slice")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	// Every non-leader either piggybacked on the in-flight solve or (if it
+	// reached Get after the leader stored) scored a plain hit.
+	if st.Shared+st.Hits != n-1 {
+		t.Errorf("shared %d + hits %d != %d", st.Shared, st.Hits, n-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	var calls int32
+	failing := func() ([]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, boom
+	}
+	if _, err := c.Get("k", failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Get("k", failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("failed compute must retry, ran %d times", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("errors must not occupy cache slots, len = %d", c.Len())
+	}
+}
+
+// TestPanicDoesNotPoisonKey: a panicking compute must release waiters and
+// leave the key retryable — not park every future Get on a dead in-flight
+// entry.
+func TestPanicDoesNotPoisonKey(t *testing.T) {
+	c := New(4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader must re-panic")
+			}
+		}()
+		c.Get("k", func() ([]float64, error) { panic("kaboom") })
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.Get("k", constant(1))
+		if err != nil || v[0] != 1 {
+			t.Errorf("retry after panic: %v %v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get blocked on a poisoned key")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestWarm(t *testing.T) {
+	c := New(16)
+	var calls int32
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{
+			Key: Key(fmt.Sprintf("w%d", i)),
+			Compute: func() ([]float64, error) {
+				atomic.AddInt32(&calls, 1)
+				return []float64{1}, nil
+			},
+		})
+	}
+	// Duplicate job for an already-warm key must be skipped.
+	c.Get("w0", constant(0))
+	<-c.Warm(jobs, 3)
+	if calls != 7 {
+		t.Errorf("warm computed %d entries, want 7 (w0 already resident)", calls)
+	}
+	if c.Len() != 8 {
+		t.Errorf("len = %d, want 8", c.Len())
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	c := New(0)
+	if got := c.Stats().Cap; got != DefaultCapacity {
+		t.Errorf("cap = %d, want %d", got, DefaultCapacity)
+	}
+}

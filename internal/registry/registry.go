@@ -1,0 +1,320 @@
+// Package registry holds a named collection of graphs for the serving layer.
+// Entries are registered cheaply (a file path, a synthetic-dataset name, or
+// an already-built graph) and materialized lazily on first access; loading is
+// concurrency-safe and happens at most once per entry, so a server can
+// register a whole directory of graphs at startup without paying for any of
+// them until a request arrives.
+//
+// Sources:
+//
+//   - AddGraph: an in-memory *graph.Graph, available immediately.
+//   - AddFile:  an edge-list file (plus optional significance file), parsed
+//     on first access.
+//   - AddDataset: one of the paper's eight synthetic data graphs, generated
+//     on first access.
+//   - LoadDir:  registers every edge-list file in a directory.
+package registry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/graph"
+)
+
+// Snapshot is a materialized registry entry: an immutable graph plus its
+// optional per-node significance vector (nil when the source has none).
+type Snapshot struct {
+	Name         string
+	Source       string // human-readable provenance, e.g. "file:web.tsv"
+	Graph        *graph.Graph
+	Significance []float64
+}
+
+// entry is one registered graph; load runs at most once via once, and the
+// outcome is published through an atomic pointer so Statuses can peek at the
+// load state without racing a concurrent materialize.
+type entry struct {
+	name   string
+	source string
+	load   func() (*graph.Graph, []float64, error)
+
+	once sync.Once
+	res  atomic.Pointer[loadResult]
+}
+
+type loadResult struct {
+	snap *Snapshot
+	err  error
+}
+
+func (e *entry) materialize() (*Snapshot, error) {
+	e.once.Do(func() {
+		var res loadResult
+		g, sig, err := e.load()
+		switch {
+		case err != nil:
+			res.err = fmt.Errorf("registry: load %s (%s): %w", e.name, e.source, err)
+		case sig != nil && len(sig) != g.NumNodes():
+			res.err = fmt.Errorf("registry: %s: %d significances for %d nodes", e.name, len(sig), g.NumNodes())
+		default:
+			res.snap = &Snapshot{Name: e.name, Source: e.source, Graph: g, Significance: sig}
+		}
+		e.res.Store(&res)
+	})
+	res := e.res.Load()
+	return res.snap, res.err
+}
+
+// Registry is a concurrency-safe named-graph collection. The zero value is
+// not usable; call New.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// ErrUnknownGraph is wrapped by Get for names that were never registered.
+var ErrUnknownGraph = errors.New("registry: unknown graph")
+
+func (r *Registry) add(e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("registry: duplicate graph name %q", e.name)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+// AddGraph registers an already-built graph under name. significance may be
+// nil.
+func (r *Registry) AddGraph(name string, g *graph.Graph, significance []float64) error {
+	if g == nil || g.NumNodes() == 0 {
+		return fmt.Errorf("registry: graph %q is empty", name)
+	}
+	if significance != nil && len(significance) != g.NumNodes() {
+		return fmt.Errorf("registry: %s: %d significances for %d nodes", name, len(significance), g.NumNodes())
+	}
+	return r.add(&entry{
+		name:   name,
+		source: "memory",
+		load: func() (*graph.Graph, []float64, error) {
+			return g, significance, nil
+		},
+	})
+}
+
+// AddFile registers an edge-list file to be parsed on first access. sigPath
+// is an optional per-node significance file ("" for none). weighted selects
+// whether a third weight column is required.
+func (r *Registry) AddFile(name, path string, kind graph.Kind, weighted bool, sigPath string) error {
+	return r.add(&entry{
+		name:   name,
+		source: "file:" + path,
+		load: func() (*graph.Graph, []float64, error) {
+			return loadEdgeListFile(path, kind, weighted, sigPath)
+		},
+	})
+}
+
+// AddDataset registers one of the paper's synthetic data graphs (see
+// dataset.GraphNames) to be generated on first access. The dataset's
+// significance vector rides along, enabling /v1/{graph}/correlate.
+// Unknown names fail here, not at first request.
+func (r *Registry) AddDataset(name string, cfg dataset.Config) error {
+	if !slices.Contains(dataset.GraphNames(), name) {
+		return fmt.Errorf("registry: unknown dataset graph %q (want one of %v)", name, dataset.GraphNames())
+	}
+	return r.add(&entry{
+		name:   name,
+		source: "dataset:" + name,
+		load: func() (*graph.Graph, []float64, error) {
+			d, err := dataset.GraphByName(cfg, name)
+			if err != nil {
+				return nil, nil, err
+			}
+			return d.Weighted, d.Significance, nil
+		},
+	})
+}
+
+// AddAllDatasets registers all eight paper graphs under their Table-3 names.
+func (r *Registry) AddAllDatasets(cfg dataset.Config) error {
+	for _, name := range dataset.GraphNames() {
+		if err := r.AddDataset(name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeListExts are the file extensions LoadDir treats as edge lists.
+var edgeListExts = map[string]bool{".tsv": true, ".txt": true, ".edges": true}
+
+// LoadDir registers every edge-list file (*.tsv, *.txt, *.edges) directly
+// inside dir. The graph name is the file base name without extension; a
+// sibling "<name>.sig" file, when present, is read as the significance
+// vector. Whether a file is weighted is sniffed from its first data line
+// (three or more columns → weighted); a ".directed" infix in the name (e.g.
+// "web.directed.tsv" → graph "web") marks the edge list as directed.
+// Returns the number of graphs registered.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("registry: %w", err)
+	}
+	n := 0
+	for _, de := range des {
+		if de.IsDir() || !edgeListExts[filepath.Ext(de.Name())] {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		name := strings.TrimSuffix(de.Name(), filepath.Ext(de.Name()))
+		kind := graph.Undirected
+		if strings.HasSuffix(name, ".directed") {
+			kind = graph.Directed
+			name = strings.TrimSuffix(name, ".directed")
+		}
+		weighted, err := sniffWeighted(path)
+		if err != nil {
+			return n, fmt.Errorf("registry: %s: %w", path, err)
+		}
+		sigPath := filepath.Join(dir, name+".sig")
+		if _, err := os.Stat(sigPath); err != nil {
+			sigPath = ""
+		}
+		if err := r.AddFile(name, path, kind, weighted, sigPath); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Names returns the registered graph names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Get materializes and returns the named graph. Concurrent calls for the
+// same name share one load; a failed load is sticky (the error is returned
+// on every subsequent Get rather than retried).
+func (r *Registry) Get(name string) (*Snapshot, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, name)
+	}
+	return e.materialize()
+}
+
+// Status describes one registry entry without forcing a load.
+type Status struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Loaded bool   `json:"loaded"`
+	// Error is the sticky load failure, if the entry was tried and failed
+	// (Loaded stays false in that case).
+	Error string `json:"error,omitempty"`
+	// Nodes and Edges are only set once the entry is loaded.
+	Nodes int `json:"nodes,omitempty"`
+	Edges int `json:"edges,omitempty"`
+}
+
+// Statuses reports every entry's name, provenance, and load state, sorted by
+// name. It never triggers loads — the serving layer uses it for the graph
+// listing endpoint.
+func (r *Registry) Statuses() []Status {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Status, 0, len(r.entries))
+	for _, e := range r.entries {
+		st := Status{Name: e.name, Source: e.source}
+		if res := e.res.Load(); res != nil {
+			if res.err != nil {
+				st.Error = res.err.Error()
+			} else {
+				st.Loaded = true
+				st.Nodes = res.snap.Graph.NumNodes()
+				st.Edges = res.snap.Graph.NumEdges()
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+func loadEdgeListFile(path string, kind graph.Kind, weighted bool, sigPath string) (*graph.Graph, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := graph.ReadEdgeList(f, kind, weighted)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	var sig []float64
+	if sigPath != "" {
+		sf, err := os.Open(sigPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		sig, err = graph.ReadScores(sf)
+		sf.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, sig, nil
+}
+
+// sniffWeighted reports whether the first data line of an edge list has a
+// third (weight) column.
+func sniffWeighted(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return len(strings.Fields(line)) >= 3, nil
+	}
+	return false, sc.Err()
+}

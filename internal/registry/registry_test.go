@@ -1,0 +1,205 @@
+package registry
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/graph"
+)
+
+func mustGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(graph.Undirected, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddGraphAndGet(t *testing.T) {
+	r := New()
+	if err := r.AddGraph("g", mustGraph(t), []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Name != "g" || snap.Graph.NumNodes() != 3 || snap.Significance[2] != 3 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestAddGraphValidation(t *testing.T) {
+	r := New()
+	if err := r.AddGraph("empty", nil, nil); err == nil {
+		t.Error("nil graph must error")
+	}
+	if err := r.AddGraph("g", mustGraph(t), []float64{1}); err == nil {
+		t.Error("significance length mismatch must error")
+	}
+	if err := r.AddGraph("g", mustGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddGraph("g", mustGraph(t), nil); err == nil {
+		t.Error("duplicate name must error")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	r := New()
+	_, err := r.Get("nope")
+	if !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("err = %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestLazyLoadOnce(t *testing.T) {
+	r := New()
+	var loads int32
+	g := mustGraph(t)
+	r.add(&entry{
+		name: "lazy", source: "test",
+		load: func() (*graph.Graph, []float64, error) {
+			atomic.AddInt32(&loads, 1)
+			return g, nil, nil
+		},
+	})
+	if st := r.Statuses(); st[0].Loaded {
+		t.Error("entry loaded before first Get")
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			if _, err := r.Get("lazy"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if loads != 1 {
+		t.Errorf("load ran %d times under concurrency, want 1", loads)
+	}
+	st := r.Statuses()
+	if !st[0].Loaded || st[0].Nodes != 3 {
+		t.Errorf("status = %+v", st[0])
+	}
+}
+
+func TestFailedLoadIsSticky(t *testing.T) {
+	r := New()
+	var loads int32
+	r.add(&entry{
+		name: "bad", source: "test",
+		load: func() (*graph.Graph, []float64, error) {
+			atomic.AddInt32(&loads, 1)
+			return nil, nil, errors.New("disk on fire")
+		},
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := r.Get("bad"); err == nil {
+			t.Fatal("want error")
+		}
+	}
+	if loads != 1 {
+		t.Errorf("failed load retried %d times, want sticky failure", loads)
+	}
+	st := r.Statuses()
+	if st[0].Loaded {
+		t.Error("failed entry must not report Loaded")
+	}
+	if st[0].Error == "" {
+		t.Error("failed entry must surface its load error")
+	}
+}
+
+func TestAddDataset(t *testing.T) {
+	r := New()
+	if err := r.AddDataset(dataset.IMDBActorActor, dataset.Config{Scale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddDataset("bogus", dataset.Config{}); err == nil {
+		t.Error("unknown dataset names must fail at add time")
+	}
+	snap, err := r.Get(dataset.IMDBActorActor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Graph.NumNodes() == 0 || snap.Significance == nil {
+		t.Errorf("dataset snapshot = %+v", snap)
+	}
+}
+
+func TestAddAllDatasets(t *testing.T) {
+	r := New()
+	if err := r.AddAllDatasets(dataset.Config{Scale: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.Len(), len(dataset.GraphNames()); got != want {
+		t.Errorf("len = %d, want %d", got, want)
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("plain.tsv", "0\t1\n1\t2\n")
+	write("heavy.tsv", "# weighted\n0\t1\t2.5\n1\t2\t1.0\n")
+	write("web.directed.txt", "0\t1\n1\t2\n2\t0\n")
+	write("plain.sig", "0\t0.5\n1\t0.25\n2\t0.25\n")
+	write("notes.md", "ignored")
+
+	r := New()
+	n, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("registered %d graphs, want 3 (names: %v)", n, r.Names())
+	}
+
+	plain, err := r.Get("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Graph.Weighted() || plain.Significance == nil {
+		t.Errorf("plain = %+v", plain)
+	}
+	heavy, err := r.Get("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heavy.Graph.Weighted() {
+		t.Error("heavy.tsv must be sniffed as weighted")
+	}
+	if w, ok := heavy.Graph.EdgeWeight(0, 1); !ok || w != 2.5 {
+		t.Errorf("heavy weight(0,1) = %v, %v", w, ok)
+	}
+	web, err := r.Get("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !web.Graph.Directed() {
+		t.Error(".directed infix must mark the graph directed")
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	r := New()
+	if _, err := r.LoadDir("/no/such/dir"); err == nil {
+		t.Error("missing dir must error")
+	}
+}

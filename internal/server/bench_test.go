@@ -1,0 +1,67 @@
+// Serving-layer benchmarks for the ISSUE-1 acceptance criteria:
+//
+//	BenchmarkRankRequestCold vs. BenchmarkRankRequestWarm — a repeat
+//	/v1/{graph}/rank request served from the rank cache must be ≥10×
+//	faster than the cold solve (in practice the gap is 10³–10⁵×).
+//
+//	go test ./internal/server -bench=BenchmarkRankRequest -benchmem
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/registry"
+)
+
+func benchHandler(b *testing.B) http.Handler {
+	b.Helper()
+	reg := registry.New()
+	if err := reg.AddDataset(dataset.IMDBActorActor, dataset.Config{Scale: 0.5, Seed: 7}); err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewMulti(reg, Config{CacheSize: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	// Force the lazy graph load outside the timed region.
+	warm := httptest.NewRequest("GET", "/v1/imdb-actor-actor/info", nil)
+	h.ServeHTTP(httptest.NewRecorder(), warm)
+	return h
+}
+
+// BenchmarkRankRequestCold varies p every iteration so each request misses
+// the cache and pays the full transition build + power iteration.
+func BenchmarkRankRequestCold(b *testing.B) {
+	h := benchHandler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := fmt.Sprintf("/v1/imdb-actor-actor/topk?k=10&p=%g", 0.25+float64(i)*1e-9)
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkRankRequestWarm repeats one configuration; after the first
+// request every iteration is a cache hit plus top-k extraction.
+func BenchmarkRankRequestWarm(b *testing.B) {
+	h := benchHandler(b)
+	req := httptest.NewRequest("GET", "/v1/imdb-actor-actor/topk?k=10&p=0.25", nil)
+	h.ServeHTTP(httptest.NewRecorder(), req) // prime the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/imdb-actor-actor/topk?k=10&p=0.25", nil))
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"d2pr/internal/rankcache"
+)
+
+// metrics collects per-route request counters and aggregate latency. All
+// methods are safe for concurrent use.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  uint64
+	errors    uint64 // responses with status >= 400
+	byPattern map[string]uint64
+	totalWait time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), byPattern: map[string]uint64{}}
+}
+
+func (m *metrics) record(pattern string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if status >= 400 {
+		m.errors++
+	}
+	m.byPattern[pattern]++
+	m.totalWait += elapsed
+}
+
+// RouteCount is one per-route counter row of the /metrics response.
+type RouteCount struct {
+	Route string `json:"route"`
+	Count uint64 `json:"count"`
+}
+
+// MetricsResponse is the /metrics response body.
+type MetricsResponse struct {
+	UptimeSeconds  float64         `json:"uptime_seconds"`
+	Requests       uint64          `json:"requests"`
+	Errors         uint64          `json:"errors"`
+	AvgLatencyMs   float64         `json:"avg_latency_ms"`
+	Routes         []RouteCount    `json:"routes"`
+	Cache          rankcache.Stats `json:"cache"`
+	GraphsLoaded   int             `json:"graphs_loaded"`
+	GraphsRegistry int             `json:"graphs_registered"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	m.mu.Lock()
+	resp := MetricsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.requests,
+		Errors:        m.errors,
+	}
+	if m.requests > 0 {
+		resp.AvgLatencyMs = m.totalWait.Seconds() * 1000 / float64(m.requests)
+	}
+	for route, n := range m.byPattern {
+		resp.Routes = append(resp.Routes, RouteCount{Route: route, Count: n})
+	}
+	m.mu.Unlock()
+	sort.Slice(resp.Routes, func(a, b int) bool { return resp.Routes[a].Route < resp.Routes[b].Route })
+	resp.Cache = s.cache.Stats()
+	for _, st := range s.reg.Statuses() {
+		resp.GraphsRegistry++
+		if st.Loaded {
+			resp.GraphsLoaded++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusRecorder captures the response status for logging/metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(status int) {
+	sr.status = status
+	sr.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps the mux with request logging and metrics collection.
+// Metrics are bucketed by the matched route pattern (not the raw path), so
+// per-graph traffic aggregates under one counter per endpoint.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(rec, r)
+		elapsed := time.Since(started)
+		// The mux records the matched pattern on the request itself;
+		// unmatched paths and method mismatches leave it empty.
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "(no route)"
+		}
+		s.metrics.record(pattern, rec.status, elapsed)
+		if s.logger != nil {
+			s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, elapsed.Round(time.Microsecond))
+		}
+	})
+}

@@ -1,18 +1,23 @@
-// Package server exposes the ranking library as a small JSON-over-HTTP
-// service: load a graph once, answer ranking queries for any (algorithm, p,
-// β, α, seeds) configuration. It is the deployment shape a recommendation
-// backend would actually use — rank vectors are cached per configuration so
-// repeated top-k queries cost one map lookup.
+// Package server exposes the ranking library as a JSON-over-HTTP service
+// over a registry of named graphs. Graphs load lazily on first request;
+// score vectors are cached in an LRU keyed by the full ranking configuration
+// with single-flight deduplication, so repeated queries cost one map lookup
+// and concurrent identical queries share one solve.
 //
-// Endpoints:
+// Endpoints (see docs/server-api.md for the full contract):
 //
-//	GET /v1/graph                 → graph summary + Table-3 statistics
-//	GET /v1/rank?algo=d2pr&p=0.5&top=10
-//	                              → ranking (full scores or top-k)
-//	GET /v1/node/{id}?p=0.5       → one node's score, rank, degree
-//	GET /v1/correlate?p=0.5       → Spearman correlation with the loaded
-//	                                significance vector (if any)
-//	GET /healthz                  → liveness
+//	GET /healthz                        → liveness
+//	GET /metrics                        → request counters + cache stats
+//	GET /v1/graphs                      → registered graphs + load state
+//	GET /v1/{graph}/info                → graph summary + Table-3 statistics
+//	GET /v1/{graph}/rank                → full scores or top-k rows
+//	GET /v1/{graph}/topk?k=10           → top-k rows via bounded-heap select
+//	GET /v1/{graph}/node/{id}           → one node's score, rank, degree
+//	GET /v1/{graph}/correlate           → Spearman vs. the graph's
+//	                                      significance vector (if any)
+//
+// Ranking parameters (rank, topk, node, correlate): algo=d2pr|pagerank|
+// hits|degree, p, beta, alpha, seeds=3,17 (personalized teleport).
 //
 // All handlers are safe for concurrent use.
 package server
@@ -21,54 +26,111 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"d2pr/internal/core"
 	"d2pr/internal/graph"
+	"d2pr/internal/rankcache"
+	"d2pr/internal/registry"
 	"d2pr/internal/stats"
 )
 
-// Server serves ranking queries over one immutable graph.
-type Server struct {
-	g   *graph.Graph
-	sig []float64 // optional significance vector (may be nil)
-
-	mu    sync.Mutex
-	cache map[string][]float64 // config key → scores
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// CacheSize bounds the number of resident score vectors.
+	// 0 means rankcache.DefaultCapacity.
+	CacheSize int
+	// Logger receives one line per request when non-nil.
+	Logger *log.Logger
 }
 
-// New creates a Server for the given graph. significance may be nil; it
-// enables /v1/correlate when present (length must then match the node
-// count).
+// Server serves ranking queries over a registry of named graphs.
+type Server struct {
+	reg     *registry.Registry
+	cache   *rankcache.Cache
+	logger  *log.Logger
+	metrics *metrics
+}
+
+// NewMulti creates a Server over a registry. The registry may keep gaining
+// entries after the server starts; it must not be nil or empty.
+func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, errors.New("server: registry is empty")
+	}
+	return &Server{
+		reg:     reg,
+		cache:   rankcache.New(cfg.CacheSize),
+		logger:  cfg.Logger,
+		metrics: newMetrics(),
+	}, nil
+}
+
+// New creates a single-graph Server, registering g under the name "default".
+// significance may be nil; it enables /v1/default/correlate when present.
+// Kept as the convenience constructor for tests and embedders.
 func New(g *graph.Graph, significance []float64) (*Server, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, errors.New("server: graph is empty")
 	}
-	if significance != nil && len(significance) != g.NumNodes() {
-		return nil, fmt.Errorf("server: %d significances for %d nodes", len(significance), g.NumNodes())
+	reg := registry.New()
+	if err := reg.AddGraph("default", g, significance); err != nil {
+		return nil, err
 	}
-	return &Server{g: g, sig: significance, cache: map[string][]float64{}}, nil
+	return NewMulti(reg, Config{})
 }
 
-// Handler returns the HTTP handler tree.
+// Cache exposes the result cache (for warming and stats).
+func (s *Server) Cache() *rankcache.Cache { return s.cache }
+
+// Handler returns the HTTP handler tree wrapped in the logging/metrics
+// middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/v1/graph", s.handleGraph)
-	mux.HandleFunc("/v1/rank", s.handleRank)
-	mux.HandleFunc("/v1/node/", s.handleNode)
-	mux.HandleFunc("/v1/correlate", s.handleCorrelate)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/{graph}/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/{graph}/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/{graph}/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/{graph}/node/{id}", s.handleNode)
+	mux.HandleFunc("GET /v1/{graph}/correlate", s.handleCorrelate)
+	return s.instrument(mux)
+}
+
+// Warm precomputes d2pr scores for every registered graph at each
+// de-coupling weight in ps (β = beta, default solver options), loading
+// graphs as needed. It runs in the background with the given parallelism and
+// returns a channel that closes when the sweep completes.
+func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct{} {
+	var jobs []rankcache.Job
+	for _, name := range s.reg.Names() {
+		for _, p := range ps {
+			q := rankQuery{Graph: name, Algo: "d2pr", P: p, Beta: beta, Alpha: core.DefaultAlpha}
+			jobs = append(jobs, rankcache.Job{
+				Key: q.cacheKey(),
+				Compute: func() ([]float64, error) {
+					snap, err := s.reg.Get(q.Graph)
+					if err != nil {
+						return nil, err
+					}
+					return computeScores(snap, q)
+				},
+			})
+		}
+	}
+	return s.cache.Warm(jobs, parallelism)
 }
 
 // rankQuery is the parsed, canonicalized query configuration.
 type rankQuery struct {
+	Graph string
 	Algo  string
 	P     float64
 	Beta  float64
@@ -76,32 +138,63 @@ type rankQuery struct {
 	Seeds []int32
 }
 
-func (q rankQuery) key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|p=%g|beta=%g|alpha=%g|seeds=", q.Algo, q.P, q.Beta, q.Alpha)
-	for i, s := range q.Seeds {
-		if i > 0 {
-			b.WriteByte(',')
+// opts returns the solver options for the query (teleport built over n
+// nodes).
+func (q rankQuery) opts(n int) core.Options {
+	o := core.Options{Alpha: q.Alpha}
+	if len(q.Seeds) > 0 {
+		tele := make([]float64, n)
+		for _, sd := range q.Seeds {
+			tele[sd] = 1
 		}
-		fmt.Fprintf(&b, "%d", s)
+		o.Teleport = tele
 	}
-	return b.String()
+	return o
 }
 
-// parseRankQuery extracts and validates the ranking parameters.
-func (s *Server) parseRankQuery(r *http.Request) (rankQuery, error) {
-	q := rankQuery{Algo: "d2pr", Alpha: core.DefaultAlpha}
+// cacheKey derives the rankcache key, canonicalizing parameters each
+// algorithm ignores so equivalent configurations share one cache slot:
+// p/β for everything but d2pr, alpha and seeds additionally for HITS (which
+// only reads Tol/MaxIter), and every solver option for degree centrality.
+// The teleport component of Options.CacheKey depends on n, which is unknown
+// before the graph loads; seeds are appended verbatim instead, which is
+// strictly finer and therefore still correct.
+func (q rankQuery) cacheKey() rankcache.Key {
+	p, beta, alpha, seeds := q.P, q.Beta, q.Alpha, q.Seeds
+	switch q.Algo {
+	case "degree":
+		return rankcache.NewKey(q.Graph, q.Algo, 0, 0, "")
+	case "hits":
+		p, beta, alpha, seeds = 0, 0, core.DefaultAlpha, nil
+	case "pagerank":
+		p, beta = 0, 0
+	}
+	optsKey := core.Options{Alpha: alpha}.CacheKey()
+	if len(seeds) > 0 {
+		parts := make([]string, len(seeds))
+		for i, sd := range seeds {
+			parts[i] = strconv.Itoa(int(sd))
+		}
+		optsKey += "|seeds=" + strings.Join(parts, ",")
+	}
+	return rankcache.NewKey(q.Graph, q.Algo, p, beta, optsKey)
+}
+
+// parseRankQuery extracts and validates the ranking parameters. Seed bounds
+// are checked against the materialized graph.
+func parseRankQuery(r *http.Request, snap *registry.Snapshot) (rankQuery, error) {
+	q := rankQuery{Graph: snap.Name, Algo: "d2pr", Alpha: core.DefaultAlpha}
 	vals := r.URL.Query()
 	if a := vals.Get("algo"); a != "" {
 		q.Algo = a
 	}
-	var err error
 	parseF := func(name string, dst *float64) error {
 		if v := vals.Get(name); v != "" {
-			*dst, err = strconv.ParseFloat(v, 64)
+			f, err := strconv.ParseFloat(v, 64)
 			if err != nil {
 				return fmt.Errorf("bad %s %q", name, v)
 			}
+			*dst = f
 		}
 		return nil
 	}
@@ -123,7 +216,7 @@ func (s *Server) parseRankQuery(r *http.Request) (rankQuery, error) {
 	if seeds := vals.Get("seeds"); seeds != "" {
 		for _, part := range strings.Split(seeds, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || id < 0 || id >= s.g.NumNodes() {
+			if err != nil || id < 0 || id >= snap.Graph.NumNodes() {
 				return q, fmt.Errorf("bad seed %q", part)
 			}
 			q.Seeds = append(q.Seeds, int32(id))
@@ -137,28 +230,13 @@ func (s *Server) parseRankQuery(r *http.Request) (rankQuery, error) {
 	return q, nil
 }
 
-// scores computes (or returns cached) scores for a configuration.
-func (s *Server) scores(q rankQuery) ([]float64, error) {
-	key := q.key()
-	s.mu.Lock()
-	if cached, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return cached, nil
-	}
-	s.mu.Unlock()
-
-	opts := core.Options{Alpha: q.Alpha}
-	if len(q.Seeds) > 0 {
-		tele := make([]float64, s.g.NumNodes())
-		for _, sd := range q.Seeds {
-			tele[sd] = 1
-		}
-		opts.Teleport = tele
-	}
-	var out []float64
+// computeScores runs the configured algorithm on the snapshot's graph.
+func computeScores(snap *registry.Snapshot, q rankQuery) ([]float64, error) {
+	g := snap.Graph
+	opts := q.opts(g.NumNodes())
 	switch q.Algo {
 	case "d2pr":
-		t, err := core.Blended(s.g, q.P, q.Beta)
+		t, err := core.Blended(g, q.P, q.Beta)
 		if err != nil {
 			return nil, err
 		}
@@ -166,30 +244,61 @@ func (s *Server) scores(q rankQuery) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = res.Scores
+		return res.Scores, nil
 	case "pagerank":
-		res, err := core.PageRank(s.g, opts)
+		res, err := core.PageRank(g, opts)
 		if err != nil {
 			return nil, err
 		}
-		out = res.Scores
+		return res.Scores, nil
 	case "hits":
-		res, err := core.HITS(s.g, opts)
+		res, err := core.HITS(g, opts)
 		if err != nil {
 			return nil, err
 		}
-		out = res.Authorities
+		return res.Authorities, nil
 	case "degree":
-		out = core.DegreeCentrality(s.g)
+		return core.DegreeCentrality(g), nil
 	}
-	s.mu.Lock()
-	s.cache[key] = out
-	s.mu.Unlock()
-	return out, nil
+	return nil, fmt.Errorf("unknown algo %q", q.Algo)
 }
 
-// GraphInfo is the /v1/graph response body.
+// scores returns the (cached) score vector for a query. Concurrent identical
+// requests share one solve via the cache's single-flight path.
+func (s *Server) scores(snap *registry.Snapshot, q rankQuery) ([]float64, error) {
+	return s.cache.Get(q.cacheKey(), func() ([]float64, error) {
+		return computeScores(snap, q)
+	})
+}
+
+// snapshot resolves the {graph} path component against the registry.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
+	name := r.PathValue("graph")
+	snap, err := s.reg.Get(name)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return nil, false
+	}
+	return snap, true
+}
+
+// GraphsResponse is the /v1/graphs response body.
+type GraphsResponse struct {
+	Graphs []registry.Status `json:"graphs"`
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, GraphsResponse{Graphs: s.reg.Statuses()})
+}
+
+// GraphInfo is the /v1/{graph}/info response body.
 type GraphInfo struct {
+	Name            string  `json:"name"`
+	Source          string  `json:"source"`
 	Kind            string  `json:"kind"`
 	Weighted        bool    `json:"weighted"`
 	Nodes           int     `json:"nodes"`
@@ -200,17 +309,23 @@ type GraphInfo struct {
 	HasSignificance bool    `json:"has_significance"`
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	st := graph.ComputeStats(s.g)
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	st := graph.ComputeStats(snap.Graph)
 	writeJSON(w, http.StatusOK, GraphInfo{
-		Kind:            s.g.Kind().String(),
-		Weighted:        s.g.Weighted(),
+		Name:            snap.Name,
+		Source:          snap.Source,
+		Kind:            snap.Graph.Kind().String(),
+		Weighted:        snap.Graph.Weighted(),
 		Nodes:           st.Nodes,
 		Edges:           st.Edges,
 		AvgDegree:       st.AvgDegree,
 		DegreeStdDev:    st.DegreeStdDev,
 		MedianNbrStdDev: st.MedianNeighborDegStdDev,
-		HasSignificance: s.sig != nil,
+		HasSignificance: snap.Significance != nil,
 	})
 }
 
@@ -222,44 +337,94 @@ type RankEntry struct {
 	Score  float64 `json:"score"`
 }
 
-// RankResponse is the /v1/rank response body.
+// RankResponse is the /v1/{graph}/rank and /v1/{graph}/topk response body.
 type RankResponse struct {
+	Graph  string      `json:"graph"`
 	Config string      `json:"config"`
 	Top    []RankEntry `json:"top,omitempty"`
 	Scores []float64   `json:"scores,omitempty"`
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	q, err := s.parseRankQuery(r)
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	q, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(q)
+	// Validate top before solving: a malformed request must not cost a
+	// cold solve (or a cache slot).
+	top := 0
+	if topStr := r.URL.Query().Get("top"); topStr != "" {
+		top, err = strconv.Atoi(topStr)
+		if err != nil || top <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", topStr))
+			return
+		}
+	}
+	scores, err := s.scores(snap, q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := RankResponse{Config: q.key()}
-	if topStr := r.URL.Query().Get("top"); topStr != "" {
-		k, err := strconv.Atoi(topStr)
-		if err != nil || k <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", topStr))
-			return
-		}
-		for i, u := range stats.TopK(scores, k) {
-			resp.Top = append(resp.Top, RankEntry{
-				Rank: i + 1, Node: int32(u), Degree: s.g.Degree(int32(u)), Score: scores[u],
-			})
-		}
+	resp := RankResponse{Graph: snap.Name, Config: string(q.cacheKey())}
+	if top > 0 {
+		resp.Top = topEntries(snap.Graph, scores, top)
 	} else {
 		resp.Scores = scores
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// NodeResponse is the /v1/node/{id} response body.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	q, err := parseRankQuery(r, snap)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if kStr := r.URL.Query().Get("k"); kStr != "" {
+		k, err = strconv.Atoi(kStr)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", kStr))
+			return
+		}
+	}
+	scores, err := s.scores(snap, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RankResponse{
+		Graph:  snap.Name,
+		Config: string(q.cacheKey()),
+		Top:    topEntries(snap.Graph, scores, k),
+	})
+}
+
+// topEntries extracts the k best rows with the bounded-heap selector — the
+// full score vector is never sorted, so k ≪ n queries stay O(n log k).
+func topEntries(g *graph.Graph, scores []float64, k int) []RankEntry {
+	idx := stats.TopKHeap(scores, k)
+	out := make([]RankEntry, len(idx))
+	for i, u := range idx {
+		out[i] = RankEntry{
+			Rank: i + 1, Node: int32(u), Degree: g.Degree(int32(u)), Score: scores[u],
+		}
+	}
+	return out
+}
+
+// NodeResponse is the /v1/{graph}/node/{id} response body.
 type NodeResponse struct {
+	Graph  string  `json:"graph"`
 	Node   int32   `json:"node"`
 	Degree int     `json:"degree"`
 	Score  float64 `json:"score"`
@@ -267,59 +432,70 @@ type NodeResponse struct {
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
-	idStr := strings.TrimPrefix(r.URL.Path, "/v1/node/")
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	idStr := r.PathValue("id")
 	id, err := strconv.Atoi(idStr)
-	if err != nil || id < 0 || id >= s.g.NumNodes() {
+	if err != nil || id < 0 || id >= snap.Graph.NumNodes() {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown node %q", idStr))
 		return
 	}
-	q, err := s.parseRankQuery(r)
+	q, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(q)
+	scores, err := s.scores(snap, q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, NodeResponse{
+		Graph:  snap.Name,
 		Node:   int32(id),
-		Degree: s.g.Degree(int32(id)),
+		Degree: snap.Graph.Degree(int32(id)),
 		Score:  scores[id],
 		Rank:   stats.RankOf(scores, id),
 	})
 }
 
-// CorrelateResponse is the /v1/correlate response body.
+// CorrelateResponse is the /v1/{graph}/correlate response body.
 type CorrelateResponse struct {
+	Graph    string  `json:"graph"`
 	Config   string  `json:"config"`
 	Spearman float64 `json:"spearman"`
 	DegreeR  float64 `json:"degree_spearman"`
 }
 
 func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
-	if s.sig == nil {
-		writeError(w, http.StatusNotFound, errors.New("no significance vector loaded"))
+	snap, ok := s.snapshot(w, r)
+	if !ok {
 		return
 	}
-	q, err := s.parseRankQuery(r)
+	if snap.Significance == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q has no significance vector", snap.Name))
+		return
+	}
+	q, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(q)
+	scores, err := s.scores(snap, q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	deg := make([]float64, s.g.NumNodes())
+	deg := make([]float64, snap.Graph.NumNodes())
 	for i := range deg {
-		deg[i] = float64(s.g.Degree(int32(i)))
+		deg[i] = float64(snap.Graph.Degree(int32(i)))
 	}
 	writeJSON(w, http.StatusOK, CorrelateResponse{
-		Config:   q.key(),
-		Spearman: stats.Spearman(scores, s.sig),
+		Graph:    snap.Name,
+		Config:   string(q.cacheKey()),
+		Spearman: stats.Spearman(scores, snap.Significance),
 		DegreeR:  stats.Spearman(scores, deg),
 	})
 }

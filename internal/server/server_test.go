@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"d2pr/internal/graph"
+	"d2pr/internal/registry"
 )
 
-func testServer(t *testing.T, withSig bool) *httptest.Server {
+func testGraph(t *testing.T) *graph.Graph {
 	t.Helper()
 	g, err := graph.FromEdges(graph.Undirected, [][2]int32{
 		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 4}, {4, 5},
@@ -18,17 +20,46 @@ func testServer(t *testing.T, withSig bool) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return g
+}
+
+func testServer(t *testing.T, withSig bool) *httptest.Server {
+	t.Helper()
 	var sig []float64
 	if withSig {
 		sig = []float64{0.1, 0.9, 0.4, 0.8, 0.3, 0.7}
 	}
-	s, err := New(g, sig)
+	s, err := New(testGraph(t), sig)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// multiServer builds a two-graph server: "alpha" (with significance) and
+// "beta" (without).
+func multiServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := registry.New()
+	if err := reg.AddGraph("alpha", testGraph(t), []float64{0.1, 0.9, 0.4, 0.8, 0.3, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.FromEdges(graph.Undirected, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddGraph("beta", g2, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewMulti(reg, Config{CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
 }
 
 func getJSON(t *testing.T, url string, out any) int {
@@ -58,10 +89,32 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-func TestGraphEndpoint(t *testing.T) {
+func TestGraphsEndpoint(t *testing.T) {
+	_, ts := multiServer(t)
+	var resp GraphsResponse
+	if code := getJSON(t, ts.URL+"/v1/graphs", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Graphs) != 2 {
+		t.Fatalf("graphs = %+v", resp.Graphs)
+	}
+	if resp.Graphs[0].Name != "alpha" || resp.Graphs[1].Name != "beta" {
+		t.Errorf("names not sorted: %+v", resp.Graphs)
+	}
+	// In-memory graphs materialize on first Get; none touched yet means the
+	// listing must not force loads. (AddGraph entries still report unloaded
+	// until first use.)
+	for _, g := range resp.Graphs {
+		if g.Loaded {
+			t.Errorf("graph %s loaded before first request", g.Name)
+		}
+	}
+}
+
+func TestInfoEndpoint(t *testing.T) {
 	ts := testServer(t, true)
 	var info GraphInfo
-	if code := getJSON(t, ts.URL+"/v1/graph", &info); code != 200 {
+	if code := getJSON(t, ts.URL+"/v1/default/info", &info); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if info.Nodes != 6 || info.Edges != 6 || info.Kind != "undirected" {
@@ -72,10 +125,19 @@ func TestGraphEndpoint(t *testing.T) {
 	}
 }
 
+func TestUnknownGraph(t *testing.T) {
+	ts := testServer(t, false)
+	for _, path := range []string{"/v1/nosuch/info", "/v1/nosuch/rank", "/v1/nosuch/topk", "/v1/nosuch/node/0", "/v1/nosuch/correlate"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, code)
+		}
+	}
+}
+
 func TestRankTopK(t *testing.T) {
 	ts := testServer(t, false)
 	var resp RankResponse
-	if code := getJSON(t, ts.URL+"/v1/rank?algo=d2pr&p=2&top=3", &resp); code != 200 {
+	if code := getJSON(t, ts.URL+"/v1/default/rank?algo=d2pr&p=2&top=3", &resp); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if len(resp.Top) != 3 {
@@ -89,10 +151,37 @@ func TestRankTopK(t *testing.T) {
 	}
 }
 
+func TestTopKEndpoint(t *testing.T) {
+	ts := testServer(t, false)
+	var resp RankResponse
+	if code := getJSON(t, ts.URL+"/v1/default/topk?k=3&p=1", &resp); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Top) != 3 || len(resp.Scores) != 0 {
+		t.Fatalf("topk response = %+v", resp)
+	}
+	for i := 1; i < len(resp.Top); i++ {
+		if resp.Top[i].Score > resp.Top[i-1].Score {
+			t.Errorf("topk not sorted: %+v", resp.Top)
+		}
+	}
+	// Default k is 10, clamped to n=6.
+	var dflt RankResponse
+	if code := getJSON(t, ts.URL+"/v1/default/topk", &dflt); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(dflt.Top) != 6 {
+		t.Errorf("default topk entries = %d, want all 6", len(dflt.Top))
+	}
+	if code := getJSON(t, ts.URL+"/v1/default/topk?k=0", nil); code != http.StatusBadRequest {
+		t.Errorf("k=0: status %d, want 400", code)
+	}
+}
+
 func TestRankFullScores(t *testing.T) {
 	ts := testServer(t, false)
 	var resp RankResponse
-	if code := getJSON(t, ts.URL+"/v1/rank", &resp); code != 200 {
+	if code := getJSON(t, ts.URL+"/v1/default/rank", &resp); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if len(resp.Scores) != 6 {
@@ -111,7 +200,7 @@ func TestRankAlgorithms(t *testing.T) {
 	ts := testServer(t, false)
 	for _, algo := range []string{"d2pr", "pagerank", "hits", "degree"} {
 		var resp RankResponse
-		if code := getJSON(t, fmt.Sprintf("%s/v1/rank?algo=%s", ts.URL, algo), &resp); code != 200 {
+		if code := getJSON(t, fmt.Sprintf("%s/v1/default/rank?algo=%s", ts.URL, algo), &resp); code != 200 {
 			t.Errorf("%s: status %d", algo, code)
 		}
 	}
@@ -120,8 +209,8 @@ func TestRankAlgorithms(t *testing.T) {
 func TestRankSeeds(t *testing.T) {
 	ts := testServer(t, false)
 	var seeded, plain RankResponse
-	getJSON(t, ts.URL+"/v1/rank?seeds=5", &seeded)
-	getJSON(t, ts.URL+"/v1/rank", &plain)
+	getJSON(t, ts.URL+"/v1/default/rank?seeds=5", &seeded)
+	getJSON(t, ts.URL+"/v1/default/rank", &plain)
 	if seeded.Scores[5] <= plain.Scores[5] {
 		t.Error("seeding node 5 must raise its score")
 	}
@@ -132,7 +221,7 @@ func TestRankBadInputs(t *testing.T) {
 	for _, q := range []string{
 		"algo=bogus", "p=x", "alpha=2", "beta=-1", "seeds=99", "seeds=zz", "top=0", "top=x",
 	} {
-		if code := getJSON(t, ts.URL+"/v1/rank?"+q, nil); code != http.StatusBadRequest {
+		if code := getJSON(t, ts.URL+"/v1/default/rank?"+q, nil); code != http.StatusBadRequest {
 			t.Errorf("query %q: status %d, want 400", q, code)
 		}
 	}
@@ -141,31 +230,30 @@ func TestRankBadInputs(t *testing.T) {
 func TestNodeEndpoint(t *testing.T) {
 	ts := testServer(t, false)
 	var resp NodeResponse
-	if code := getJSON(t, ts.URL+"/v1/node/0?p=0", &resp); code != 200 {
+	if code := getJSON(t, ts.URL+"/v1/default/node/0?p=0", &resp); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if resp.Node != 0 || resp.Degree != 3 || resp.Rank < 1 {
 		t.Errorf("node response = %+v", resp)
 	}
-	if code := getJSON(t, ts.URL+"/v1/node/99", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/default/node/99", nil); code != http.StatusNotFound {
 		t.Errorf("unknown node: status %d, want 404", code)
 	}
-	if code := getJSON(t, ts.URL+"/v1/node/xyz", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/default/node/xyz", nil); code != http.StatusNotFound {
 		t.Errorf("bad node id: status %d, want 404", code)
 	}
 }
 
 func TestCorrelateEndpoint(t *testing.T) {
-	withSig := testServer(t, true)
+	_, ts := multiServer(t)
 	var resp CorrelateResponse
-	if code := getJSON(t, withSig.URL+"/v1/correlate?p=1", &resp); code != 200 {
+	if code := getJSON(t, ts.URL+"/v1/alpha/correlate?p=1", &resp); code != 200 {
 		t.Fatalf("status %d", code)
 	}
 	if resp.Spearman < -1 || resp.Spearman > 1 || resp.DegreeR < -1 || resp.DegreeR > 1 {
 		t.Errorf("correlations out of range: %+v", resp)
 	}
-	noSig := testServer(t, false)
-	if code := getJSON(t, noSig.URL+"/v1/correlate", nil); code != http.StatusNotFound {
+	if code := getJSON(t, ts.URL+"/v1/beta/correlate", nil); code != http.StatusNotFound {
 		t.Errorf("no significance: status %d, want 404", code)
 	}
 }
@@ -173,8 +261,8 @@ func TestCorrelateEndpoint(t *testing.T) {
 func TestCacheStability(t *testing.T) {
 	ts := testServer(t, false)
 	var a, b RankResponse
-	getJSON(t, ts.URL+"/v1/rank?p=1.5", &a)
-	getJSON(t, ts.URL+"/v1/rank?p=1.5", &b)
+	getJSON(t, ts.URL+"/v1/default/rank?p=1.5", &a)
+	getJSON(t, ts.URL+"/v1/default/rank?p=1.5", &b)
 	for i := range a.Scores {
 		if a.Scores[i] != b.Scores[i] {
 			t.Fatal("cached result differs")
@@ -182,12 +270,55 @@ func TestCacheStability(t *testing.T) {
 	}
 }
 
+// TestCacheSharedAcrossGraphs verifies cache isolation: identical parameters
+// on different graphs must not collide.
+func TestCacheIsolationAcrossGraphs(t *testing.T) {
+	_, ts := multiServer(t)
+	var a, b RankResponse
+	getJSON(t, ts.URL+"/v1/alpha/rank?p=1", &a)
+	getJSON(t, ts.URL+"/v1/beta/rank?p=1", &b)
+	if len(a.Scores) == len(b.Scores) {
+		t.Fatalf("test graphs must differ in size")
+	}
+	if a.Config == b.Config {
+		t.Errorf("cache keys collide across graphs: %q", a.Config)
+	}
+}
+
+// TestEquivalentConfigsShareCacheSlot: algorithms that ignore p/β must map
+// equivalent requests to one cache entry.
+func TestEquivalentConfigsShareCacheSlot(t *testing.T) {
+	s, ts := multiServer(t)
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=pagerank&p=1", nil)
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=pagerank&p=2", nil)
+	st := s.Cache().Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit (p ignored by pagerank)", st)
+	}
+	// degree ignores every solver option; hits ignores alpha and seeds.
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=degree&alpha=0.5&seeds=1", nil)
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=degree", nil)
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=hits&alpha=0.5&seeds=1", nil)
+	getJSON(t, ts.URL+"/v1/alpha/rank?algo=hits", nil)
+	st = s.Cache().Stats()
+	if st.Misses != 3 || st.Hits != 3 {
+		t.Errorf("stats = %+v, want 3 misses + 3 hits after degree/hits dedup", st)
+	}
+}
+
 func TestConcurrentRequests(t *testing.T) {
-	ts := testServer(t, true)
-	done := make(chan error, 16)
-	for i := 0; i < 16; i++ {
+	_, ts := multiServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
 		go func(i int) {
-			url := fmt.Sprintf("%s/v1/rank?p=%d&top=3", ts.URL, i%4)
+			defer wg.Done()
+			name := "alpha"
+			if i%2 == 0 {
+				name = "beta"
+			}
+			url := fmt.Sprintf("%s/v1/%s/rank?p=%d&top=3", ts.URL, name, i%4)
 			resp, err := http.Get(url)
 			if err == nil {
 				resp.Body.Close()
@@ -195,19 +326,77 @@ func TestConcurrentRequests(t *testing.T) {
 					err = fmt.Errorf("status %d", resp.StatusCode)
 				}
 			}
-			done <- err
+			if err != nil {
+				errs <- err
+			}
 		}(i)
 	}
-	for i := 0; i < 16; i++ {
-		if err := <-done; err != nil {
-			t.Error(err)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := multiServer(t)
+	getJSON(t, ts.URL+"/v1/alpha/rank?p=1", nil)
+	getJSON(t, ts.URL+"/v1/alpha/rank?p=1", nil)
+	getJSON(t, ts.URL+"/v1/nosuch/rank", nil)
+	var m MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if m.Requests != 3 {
+		t.Errorf("requests = %d, want 3", m.Requests)
+	}
+	if m.Errors != 1 {
+		t.Errorf("errors = %d, want 1", m.Errors)
+	}
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Errorf("cache stats = %+v", m.Cache)
+	}
+	found := false
+	for _, rc := range m.Routes {
+		if rc.Route == "GET /v1/{graph}/rank" && rc.Count == 3 {
+			found = true
 		}
+	}
+	if !found {
+		t.Errorf("per-route counters = %+v", m.Routes)
+	}
+	if m.GraphsRegistry != 2 || m.GraphsLoaded != 1 {
+		t.Errorf("graph counts = %d registered / %d loaded, want 2/1", m.GraphsRegistry, m.GraphsLoaded)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	s, _ := multiServer(t)
+	<-s.Warm([]float64{0, 0.5, 1}, 0, 2)
+	if got := s.Cache().Len(); got != 6 {
+		t.Errorf("cache len after warm = %d, want 6 (2 graphs × 3 p)", got)
+	}
+	// A request matching a warmed configuration must be a pure cache hit.
+	before := s.Cache().Stats().Hits
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code := getJSON(t, ts.URL+"/v1/alpha/rank?p=0.5", nil); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if after := s.Cache().Stats().Hits; after != before+1 {
+		t.Errorf("warmed config was not served from cache (hits %d → %d)", before, after)
 	}
 }
 
 func TestNewValidation(t *testing.T) {
 	if _, err := New(nil, nil); err == nil {
 		t.Error("nil graph must error")
+	}
+	if _, err := NewMulti(nil, Config{}); err == nil {
+		t.Error("nil registry must error")
+	}
+	if _, err := NewMulti(registry.New(), Config{}); err == nil {
+		t.Error("empty registry must error")
 	}
 	g, _ := graph.FromEdges(graph.Undirected, [][2]int32{{0, 1}})
 	if _, err := New(g, []float64{1}); err == nil {

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// scoreHeap is a min-heap over (score, index) pairs ordered worst-first:
+// the root is the entry that would be dropped next. Ties order by
+// descending index so that, of two equal scores, the larger index is
+// evicted first — matching TopK's ascending-index tie preference.
+type scoreHeap struct {
+	scores []float64
+	idx    []int
+}
+
+func (h *scoreHeap) Len() int { return len(h.idx) }
+func (h *scoreHeap) Less(a, b int) bool {
+	sa, sb := h.scores[h.idx[a]], h.scores[h.idx[b]]
+	if sa != sb {
+		return sa < sb
+	}
+	return h.idx[a] > h.idx[b]
+}
+func (h *scoreHeap) Swap(a, b int)   { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *scoreHeap) Push(x any)      { h.idx = append(h.idx, x.(int)) }
+func (h *scoreHeap) Pop() any {
+	n := len(h.idx)
+	v := h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return v
+}
+
+// TopKHeap returns the indices of the k largest scores in decreasing score
+// order, ties broken by ascending index — the same contract as TopK — but in
+// O(n log k) time and O(k) extra space via a bounded min-heap. It never
+// sorts the full score vector, which is what makes k ≪ n top-k queries cheap
+// on large graphs.
+func TopKHeap(scores []float64, k int) []int {
+	n := len(scores)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	h := &scoreHeap{scores: scores, idx: make([]int, 0, k+1)}
+	for i := 0; i < n; i++ {
+		if len(h.idx) < k {
+			heap.Push(h, i)
+			continue
+		}
+		// Admit i only if it beats the current worst kept entry.
+		worst := h.idx[0]
+		if scores[i] > scores[worst] {
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+		// Equal scores: the kept entry has the smaller index already
+		// (indices arrive in ascending order), so skip.
+	}
+	out := h.idx
+	sort.Slice(out, func(a, b int) bool {
+		if scores[out[a]] != scores[out[b]] {
+			return scores[out[a]] > scores[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}

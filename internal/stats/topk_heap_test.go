@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestTopKHeapMatchesTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Coarse values force plenty of ties, exercising the
+			// ascending-index tiebreak.
+			scores[i] = float64(r.Intn(10))
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 5} {
+			got := TopKHeap(scores, k)
+			want := TopK(scores, k)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d k=%d:\nheap %v\nsort %v\nscores %v", n, k, got, want, scores)
+			}
+		}
+	}
+}
+
+func TestTopKHeapEdgeCases(t *testing.T) {
+	if got := TopKHeap(nil, 5); len(got) != 0 {
+		t.Errorf("nil scores → %v", got)
+	}
+	if got := TopKHeap([]float64{1, 2}, 0); len(got) != 0 {
+		t.Errorf("k=0 → %v", got)
+	}
+	if got := TopKHeap([]float64{3, 1, 2}, 10); !reflect.DeepEqual(got, []int{0, 2, 1}) {
+		t.Errorf("k>n → %v", got)
+	}
+}
+
+// BenchmarkTopK* back the acceptance criterion that /v1/{graph}/topk never
+// sorts all n scores: the bounded-heap selector is O(n log k) with O(k)
+// allocation, the full sort O(n log n) with O(n) allocation.
+func benchScores(n int) []float64 {
+	r := rand.New(rand.NewSource(5))
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+	}
+	return scores
+}
+
+func BenchmarkTopKFullSort(b *testing.B) {
+	scores := benchScores(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(scores, 10)
+	}
+}
+
+func BenchmarkTopKHeap(b *testing.B) {
+	scores := benchScores(200_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKHeap(scores, 10)
+	}
+}
+
+func TestTopKHeapDoesNotMutate(t *testing.T) {
+	scores := []float64{3, 1, 4, 1, 5}
+	orig := append([]float64(nil), scores...)
+	TopKHeap(scores, 2)
+	if !reflect.DeepEqual(scores, orig) {
+		t.Errorf("scores mutated: %v", scores)
+	}
+}
