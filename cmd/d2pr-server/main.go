@@ -15,11 +15,15 @@
 // graph in the background at startup.
 //
 // Endpoints: /healthz, /metrics, /v1/graphs, /v1/{graph}/info,
-// /v1/{graph}/rank, /v1/{graph}/topk, /v1/{graph}/node/{id},
-// /v1/{graph}/correlate — see docs/server-api.md for the full contract.
+// /v1/{graph}/rank, /v1/{graph}/rank/batch, /v1/{graph}/topk,
+// /v1/{graph}/node/{id}, /v1/{graph}/correlate, /v1/jobs[/{id}[/results]]
+// — see docs/server-api.md for the full contract.
 //
-// The server drains in-flight requests on SIGINT/SIGTERM before exiting
-// (10-second grace period).
+// Parameter sweeps run as asynchronous jobs on a worker pool sized by
+// -job-workers; finished job results are retained for -job-ttl.
+//
+// The server drains in-flight requests and running sweep jobs on
+// SIGINT/SIGTERM before exiting (10-second grace period).
 package main
 
 import (
@@ -45,18 +49,20 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8080", "listen address")
-		graphsDir = flag.String("graphs", "", "directory of edge-list files to register (name = file base name)")
-		directed  = flag.Bool("directed", false, "treat positional edge-list files as directed")
-		weighted  = flag.Bool("weighted", false, "read a weight column from positional edge-list files")
-		sigPath   = flag.String("sig", "", "optional per-node significance file for the positional graph")
-		dataGraph = flag.String("dataset", "", "also serve one built-in synthetic data graph")
-		datasets  = flag.Bool("datasets", false, "also serve all eight built-in synthetic data graphs")
-		scale     = flag.Float64("scale", 1.0, "synthetic dataset scale")
-		seed      = flag.Uint64("seed", 42, "synthetic dataset seed")
-		cacheSize = flag.Int("cache-size", 0, "max resident score vectors (0 = default 256)")
-		warm      = flag.String("warm", "", "background-warm d2pr at these de-coupling weights, e.g. p=0,0.5,1")
-		quiet     = flag.Bool("quiet", false, "disable per-request logging")
+		listen     = flag.String("listen", ":8080", "listen address")
+		graphsDir  = flag.String("graphs", "", "directory of edge-list files to register (name = file base name)")
+		directed   = flag.Bool("directed", false, "treat positional edge-list files as directed")
+		weighted   = flag.Bool("weighted", false, "read a weight column from positional edge-list files")
+		sigPath    = flag.String("sig", "", "optional per-node significance file for the positional graph")
+		dataGraph  = flag.String("dataset", "", "also serve one built-in synthetic data graph")
+		datasets   = flag.Bool("datasets", false, "also serve all eight built-in synthetic data graphs")
+		scale      = flag.Float64("scale", 1.0, "synthetic dataset scale")
+		seed       = flag.Uint64("seed", 42, "synthetic dataset seed")
+		cacheSize  = flag.Int("cache-size", 0, "max resident score vectors (0 = default 256)")
+		warm       = flag.String("warm", "", "background-warm d2pr at these de-coupling weights, e.g. p=0,0.5,1")
+		jobWorkers = flag.Int("job-workers", 0, "concurrent sweep configurations across all jobs (0 = default 4)")
+		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished job results (0 = default 15m)")
+		quiet      = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
 
@@ -102,7 +108,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := server.Config{CacheSize: *cacheSize}
+	cfg := server.Config{CacheSize: *cacheSize, JobWorkers: *jobWorkers, JobTTL: *jobTTL}
 	if !*quiet {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
@@ -141,12 +147,28 @@ func main() {
 		log.Print("shutting down…")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain the job subsystem and the HTTP listener concurrently under
+		// one grace period. They are interdependent: an NDJSON results
+		// stream stays open until its job reaches a terminal state, so a
+		// sequential Shutdown-then-Close would burn the whole grace on the
+		// stream and leave the jobs no drain time. Concurrently, jobs
+		// drain (followers then get their terminal line and disconnect)
+		// while ordinary requests finish; on expiry remaining jobs are
+		// cancelled and remaining connections closed forcibly. New job
+		// submissions are rejected (503) the moment the drain starts.
+		jobsDone := make(chan error, 1)
+		go func() { jobsDone <- srv.Close(shutdownCtx) }()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				log.Print("d2pr-server: grace period expired with requests still in flight; connections closed forcibly")
 			} else {
 				log.Printf("d2pr-server: shutdown: %v", err)
 			}
+		}
+		if err := <-jobsDone; err != nil {
+			log.Printf("d2pr-server: job drain: %v (remaining jobs cancelled)", err)
+		} else {
+			log.Print("job subsystem drained")
 		}
 	}
 }

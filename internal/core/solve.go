@@ -67,7 +67,13 @@ func Solve(t *Transition, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := newFlow(t)
+	return runPower(newFlow(t), opts)
+}
+
+// runPower is the power-iteration core shared by Solve and SweepSolver.
+// opts must already have defaults applied and be validated for f.n nodes.
+func runPower(f *flow, opts Options) (*Result, error) {
+	n := f.n
 	tele := opts.teleportDist(n)
 
 	cur := make([]float64, n)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"d2pr/internal/graph"
+)
+
+func sweepTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(graph.Undirected).Weighted()
+	// A 40-node graph with hubs, a ring, and varied weights so the three
+	// transition regimes (β = 0, β = 1, blends) all differ.
+	for i := int32(1); i < 12; i++ {
+		b.AddWeightedEdge(0, i, float64(i))
+	}
+	for i := int32(0); i < 40; i++ {
+		b.AddWeightedEdge(i, (i+1)%40, 1.5)
+	}
+	for i := int32(0); i < 20; i++ {
+		b.AddWeightedEdge(i, 39-i, 0.5+float64(i%3))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSweepSolverMatchesSolve: SweepSolver must be a pure optimization —
+// scores agreeing with the Blended + Solve path far inside the solver
+// tolerance (the per-node factor table reassociates a few float ops, so
+// agreement is to ulps, not bits), so sweep-computed cache entries are
+// interchangeable with interactive ones.
+func TestSweepSolverMatchesSolve(t *testing.T) {
+	g := sweepTestGraph(t)
+	s := NewSweepSolver(g)
+	for _, tc := range []struct{ p, beta float64 }{
+		{0, 0}, {0.5, 0}, {-1, 0}, {4, 0},
+		{0, 1}, {2, 1},
+		{0.5, 0.5}, {1.5, 0.25}, {-2, 0.75},
+	} {
+		tr, err := Blended(g, tc.p, tc.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Solve(tc.p, tc.beta, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Converged != want.Converged {
+			t.Errorf("p=%g β=%g: converged %v vs %v", tc.p, tc.beta, got.Converged, want.Converged)
+		}
+		for i := range want.Scores {
+			if d := math.Abs(got.Scores[i] - want.Scores[i]); d > 1e-12 {
+				t.Fatalf("p=%g β=%g: score[%d] = %v, want %v (|Δ| = %g)",
+					tc.p, tc.beta, i, got.Scores[i], want.Scores[i], d)
+			}
+		}
+	}
+}
+
+// TestSweepSolverExtremeP drives the de-coupling weight to values where the
+// naive per-node factor table would matter most; the transition must stay
+// valid (the per-source fallback guards degenerate sums) and the scores
+// must stay finite and normalized.
+func TestSweepSolverExtremeP(t *testing.T) {
+	g := sweepTestGraph(t)
+	s := NewSweepSolver(g)
+	// ±300 drives the per-node factors denormal (or to +Inf): the fast
+	// path's reciprocal guard must reject those sources and take the
+	// shifted fallback instead of caching Inf/NaN scores.
+	for _, p := range []float64{-300, -50, -8, 8, 50, 300} {
+		res, err := s.Solve(p, 0, Options{})
+		if err != nil {
+			t.Fatalf("p=%g: %v", p, err)
+		}
+		var sum float64
+		for _, v := range res.Scores {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("p=%g: invalid score %v", p, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("p=%g: scores sum to %v", p, sum)
+		}
+		// The stable path must still agree with the reference pipeline.
+		tr, err := Blended(g, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Scores {
+			if d := math.Abs(res.Scores[i] - want.Scores[i]); d > 1e-9 {
+				t.Fatalf("p=%g: score[%d] = %v, want %v", p, i, res.Scores[i], want.Scores[i])
+			}
+		}
+	}
+}
+
+// TestSweepSolverConcurrent: one SweepSolver must serve concurrent Solve
+// calls (the job worker pool does exactly this). Run with -race.
+func TestSweepSolverConcurrent(t *testing.T) {
+	g := sweepTestGraph(t)
+	s := NewSweepSolver(g)
+	ps := []float64{-1, 0, 0.5, 1, 2, 3}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ps)*2)
+	for _, p := range ps {
+		for _, beta := range []float64{0, 0.5} {
+			wg.Add(1)
+			go func(p, beta float64) {
+				defer wg.Done()
+				if _, err := s.Solve(p, beta, Options{}); err != nil {
+					errs <- err
+				}
+			}(p, beta)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSweepSolverValidation(t *testing.T) {
+	s := NewSweepSolver(sweepTestGraph(t))
+	if _, err := s.Solve(0, -0.1, Options{}); err == nil {
+		t.Error("negative beta must error")
+	}
+	if _, err := s.Solve(0, 0, Options{Alpha: 2}); err == nil {
+		t.Error("invalid alpha must error")
+	}
+}

@@ -103,8 +103,14 @@ func ConnectionStrength(g *graph.Graph) *Transition {
 // which have no dangling targets.
 func DegreeDecoupled(g *graph.Graph, p float64) *Transition {
 	t := &Transition{g: g, probs: make([]float64, g.NumArcs())}
+	decoupledProbs(g, p, logThetaTable(g), t.probs)
+	return t
+}
+
+// logThetaTable precomputes log Θ̂ for every node — the p-independent half of
+// the D2PR transition build, shared across a sweep by SweepSolver.
+func logThetaTable(g *graph.Graph) []float64 {
 	n := g.NumNodes()
-	// Precompute log Θ̂ for every node.
 	logTheta := make([]float64, n)
 	for v := 0; v < n; v++ {
 		th := g.WeightedDegree(int32(v))
@@ -113,6 +119,14 @@ func DegreeDecoupled(g *graph.Graph, p float64) *Transition {
 		}
 		logTheta[v] = math.Log(th)
 	}
+	return logTheta
+}
+
+// decoupledProbs writes the D2PR transition probabilities for de-coupling
+// weight p into probs (parallel to the CSR arcs), using a precomputed
+// logTheta table.
+func decoupledProbs(g *graph.Graph, p float64, logTheta, probs []float64) {
+	n := g.NumNodes()
 	for u := int32(0); int(u) < n; u++ {
 		lo, hi := g.ArcRange(u)
 		if hi == lo {
@@ -130,15 +144,14 @@ func DegreeDecoupled(g *graph.Graph, p float64) *Transition {
 		for k := lo; k < hi; k++ {
 			e := -p*logTheta[g.ArcTarget(k)] - maxE
 			w := math.Exp(e)
-			t.probs[k] = w
+			probs[k] = w
 			sum += w
 		}
 		inv := 1 / sum
 		for k := lo; k < hi; k++ {
-			t.probs[k] *= inv
+			probs[k] *= inv
 		}
 	}
-	return t
 }
 
 // Blended builds the weighted-graph D2PR transition of §3.2.3:

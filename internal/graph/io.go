@@ -115,6 +115,20 @@ func WriteScores(w io.Writer, scores []float64) error {
 // ReadScores parses the output of WriteScores. Node ids may appear in any
 // order but must be dense in [0, n) for some n; missing ids default to 0.
 func ReadScores(r io.Reader) ([]float64, error) {
+	return readScores(r, -1)
+}
+
+// ReadScoresFor parses like ReadScores but rejects any node id ≥ numNodes.
+// Callers that already know the graph size (the registry's .sig sidecar
+// loader) get an exact allocation bound with no sparsity heuristic — a
+// score file for an n-node graph can never demand more than n entries.
+func ReadScoresFor(r io.Reader, numNodes int) ([]float64, error) {
+	return readScores(r, numNodes)
+}
+
+// readScores implements ReadScores/ReadScoresFor; maxNodes < 0 means the
+// graph size is unknown and the sparsity heuristic bounds the allocation.
+func readScores(r io.Reader, maxNodes int) ([]float64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	type kv struct {
@@ -138,6 +152,9 @@ func ReadScores(r io.Reader) ([]float64, error) {
 		if err != nil || id < 0 {
 			return nil, fmt.Errorf("graph: scores line %d: bad node id %q", lineNo, fields[0])
 		}
+		if maxNodes >= 0 && id >= maxNodes {
+			return nil, fmt.Errorf("graph: scores line %d: node id %d out of range for %d nodes", lineNo, id, maxNodes)
+		}
 		v, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			return nil, fmt.Errorf("graph: scores line %d: bad value %q", lineNo, fields[1])
@@ -149,6 +166,17 @@ func ReadScores(r io.Reader) ([]float64, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: read scores: %w", err)
+	}
+	// The ids densify into [0, maxID]; a near-empty file naming one huge id
+	// would otherwise allocate maxID*8 bytes (a one-line file can demand
+	// gigabytes, or overflow make entirely). With a known graph size the
+	// per-line bound above is exact; without one, sparse files are still
+	// legitimate — missing ids default to 0 — so only reject when the id
+	// space is both large in absolute terms (≥ 2²⁴ entries, 128 MiB) and
+	// wildly disproportionate to the entry count. Compare maxID itself,
+	// not maxID+1, which overflows for maxID == MaxInt64.
+	if maxNodes < 0 && maxID >= 1<<24 && maxID > 64*len(items)+1024 {
+		return nil, fmt.Errorf("graph: scores too sparse: max id %d for %d entries", maxID, len(items))
 	}
 	out := make([]float64, maxID+1)
 	for _, it := range items {

@@ -120,6 +120,47 @@ func TestReadScoresErrors(t *testing.T) {
 	}
 }
 
+// TestReadScoresRejectsExtremeSparsity: one line naming a huge id must not
+// densify into a multi-gigabyte vector, while legitimately sparse files
+// (missing ids default to 0 — e.g. a significance file scoring a few nodes
+// of a large graph) must keep loading.
+func TestReadScoresRejectsExtremeSparsity(t *testing.T) {
+	if _, err := ReadScores(strings.NewReader("99999999\t1\n")); err == nil {
+		t.Error("extremely sparse scores must be rejected")
+	}
+	// MaxInt64 would overflow a naive maxID+1 bound check and panic in
+	// make; it must be rejected like any other oversized id.
+	if _, err := ReadScores(strings.NewReader("9223372036854775807\t1\n")); err == nil {
+		t.Error("MaxInt64 id must be rejected")
+	}
+	// Sparse but plausibly real: one scored node near the end of a
+	// million-node graph (the registry's length check needs maxID = n-1).
+	if got, err := ReadScores(strings.NewReader("999999\t1\n")); err != nil {
+		t.Errorf("million-node sparse scores rejected: %v", err)
+	} else if len(got) != 1000000 {
+		t.Errorf("len = %d, want 1000000", len(got))
+	}
+	if _, err := ReadScores(strings.NewReader("900\t1\n")); err != nil {
+		t.Errorf("moderately sparse scores rejected: %v", err)
+	}
+}
+
+// TestReadScoresFor: with a known graph size the bound is exact — any id
+// in range loads (however sparse), any id at or past n is rejected before
+// allocation.
+func TestReadScoresFor(t *testing.T) {
+	got, err := ReadScoresFor(strings.NewReader("99\t1\n"), 100)
+	if err != nil || len(got) != 100 {
+		t.Errorf("in-range sparse id: len=%d err=%v", len(got), err)
+	}
+	if _, err := ReadScoresFor(strings.NewReader("100\t1\n"), 100); err == nil {
+		t.Error("id == n must be rejected")
+	}
+	if _, err := ReadScoresFor(strings.NewReader("9223372036854775807\t1\n"), 100); err == nil {
+		t.Error("huge id must be rejected")
+	}
+}
+
 func TestSortedEdgesUndirectedOnce(t *testing.T) {
 	g := NewBuilder(Undirected).AddEdge(2, 0).AddEdge(0, 1).MustBuild()
 	edges := SortedEdges(g)

@@ -1,0 +1,214 @@
+// Package rankspec defines the canonical ranking configuration shared by the
+// serving layer (internal/server) and the sweep-job subsystem (internal/jobs):
+// one Spec names a graph, an algorithm, and its parameters, and knows how to
+// derive its rankcache key and how to compute its score vector over a
+// registry snapshot. Centralizing this plumbing guarantees that a score
+// computed by a background job is found by a later synchronous request — both
+// sides derive the identical cache identity from the identical Spec.
+package rankspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"d2pr/internal/core"
+	"d2pr/internal/graph"
+	"d2pr/internal/rankcache"
+	"d2pr/internal/registry"
+	"d2pr/internal/stats"
+)
+
+// Supported algorithm names.
+const (
+	AlgoD2PR     = "d2pr"
+	AlgoPageRank = "pagerank"
+	AlgoHITS     = "hits"
+	AlgoDegree   = "degree"
+)
+
+// Algos lists the supported algorithm names in documentation order.
+func Algos() []string { return []string{AlgoD2PR, AlgoPageRank, AlgoHITS, AlgoDegree} }
+
+// Spec is one fully-determined ranking configuration.
+type Spec struct {
+	Graph string  `json:"graph"`
+	Algo  string  `json:"algo"`
+	P     float64 `json:"p"`
+	Beta  float64 `json:"beta"`
+	Alpha float64 `json:"alpha"`
+	// Seeds is the personalized-teleport node set; empty means uniform.
+	Seeds []int32 `json:"seeds,omitempty"`
+}
+
+// New returns the default configuration for a graph: d2pr with p = β = 0
+// (conventional PageRank behavior) at the paper's default α.
+func New(graphName string) Spec {
+	return Spec{Graph: graphName, Algo: AlgoD2PR, Alpha: core.DefaultAlpha}
+}
+
+// Validate checks parameter ranges. numNodes bounds the seed ids; pass a
+// negative value to skip seed bounds checking when the graph is not yet
+// materialized (the check must then be repeated once it is).
+func (s Spec) Validate(numNodes int) error {
+	switch s.Algo {
+	case AlgoD2PR, AlgoPageRank, AlgoHITS, AlgoDegree:
+	default:
+		return fmt.Errorf("unknown algo %q (want %s)", s.Algo, strings.Join(Algos(), "|"))
+	}
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		return fmt.Errorf("alpha %v out of (0, 1)", s.Alpha)
+	}
+	if s.Beta < 0 || s.Beta > 1 {
+		return fmt.Errorf("beta %v out of [0, 1]", s.Beta)
+	}
+	for _, sd := range s.Seeds {
+		if sd < 0 || (numNodes >= 0 && int(sd) >= numNodes) {
+			return fmt.Errorf("seed %d out of range", sd)
+		}
+	}
+	return nil
+}
+
+// Options returns the solver options for the spec (teleport built over n
+// nodes).
+func (s Spec) Options(n int) core.Options {
+	o := core.Options{Alpha: s.Alpha}
+	if len(s.Seeds) > 0 {
+		tele := make([]float64, n)
+		for _, sd := range s.Seeds {
+			tele[sd] = 1
+		}
+		o.Teleport = tele
+	}
+	return o
+}
+
+// CacheKey derives the rankcache key, canonicalizing parameters each
+// algorithm ignores so equivalent configurations share one cache slot:
+// p/β for everything but d2pr, alpha and seeds additionally for HITS (which
+// only reads Tol/MaxIter), and every solver option for degree centrality.
+// The teleport component of Options.CacheKey depends on n, which is unknown
+// before the graph loads; seeds are appended verbatim instead, which is
+// strictly finer and therefore still correct.
+func (s Spec) CacheKey() rankcache.Key {
+	p, beta, alpha, seeds := s.P, s.Beta, s.Alpha, s.Seeds
+	switch s.Algo {
+	case AlgoDegree:
+		return rankcache.NewKey(s.Graph, s.Algo, 0, 0, "")
+	case AlgoHITS:
+		p, beta, alpha, seeds = 0, 0, core.DefaultAlpha, nil
+	case AlgoPageRank:
+		p, beta = 0, 0
+	}
+	optsKey := core.Options{Alpha: alpha}.CacheKey()
+	if len(seeds) > 0 {
+		parts := make([]string, len(seeds))
+		for i, sd := range seeds {
+			parts[i] = strconv.Itoa(int(sd))
+		}
+		optsKey += "|seeds=" + strings.Join(parts, ",")
+	}
+	return rankcache.NewKey(s.Graph, s.Algo, p, beta, optsKey)
+}
+
+// Compute runs the configured algorithm on the snapshot's graph.
+func (s Spec) Compute(snap *registry.Snapshot) ([]float64, error) {
+	g := snap.Graph
+	opts := s.Options(g.NumNodes())
+	switch s.Algo {
+	case AlgoD2PR:
+		t, err := core.Blended(g, s.P, s.Beta)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Solve(t, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case AlgoPageRank:
+		res, err := core.PageRank(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Scores, nil
+	case AlgoHITS:
+		res, err := core.HITS(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Authorities, nil
+	case AlgoDegree:
+		return core.DegreeCentrality(g), nil
+	}
+	return nil, fmt.Errorf("unknown algo %q", s.Algo)
+}
+
+// Computer evaluates Specs over one snapshot, amortizing the p-independent
+// half of the D2PR pipeline across calls via core.SweepSolver (log Θ̂ table,
+// connection-strength transition, flow transpose, per-node factor table).
+// A sweep executing its grid through one Computer pays that setup once
+// instead of per configuration; results agree with Spec.Compute to within
+// a few ulps of floating-point reassociation — far inside the solver
+// tolerance (see core.SweepSolver). Safe for concurrent use.
+type Computer struct {
+	snap  *registry.Snapshot
+	once  sync.Once
+	sweep *core.SweepSolver
+}
+
+// NewComputer returns a Computer over snap. The sweep state is built lazily
+// on the first d2pr configuration, so non-d2pr sweeps pay nothing.
+func NewComputer(snap *registry.Snapshot) *Computer {
+	return &Computer{snap: snap}
+}
+
+// Snapshot returns the snapshot the Computer evaluates over.
+func (c *Computer) Snapshot() *registry.Snapshot { return c.snap }
+
+// Compute evaluates one spec, routing d2pr through the shared sweep solver.
+func (c *Computer) Compute(spec Spec) ([]float64, error) {
+	if spec.Algo != AlgoD2PR {
+		return spec.Compute(c.snap)
+	}
+	c.once.Do(func() { c.sweep = core.NewSweepSolver(c.snap.Graph) })
+	res, err := c.sweep.Solve(spec.P, spec.Beta, spec.Options(c.snap.Graph.NumNodes()))
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
+}
+
+// Entry is one row of a top-k ranking table.
+type Entry struct {
+	Rank   int     `json:"rank"`
+	Node   int32   `json:"node"`
+	Degree int     `json:"degree"`
+	Score  float64 `json:"score"`
+}
+
+// DegreeVector materializes per-node degrees as floats — the reference
+// vector for the paper's ranking-vs-degree Spearman diagnostic, shared by
+// /correlate and the sweep subsystem.
+func DegreeVector(g *graph.Graph) []float64 {
+	deg := make([]float64, g.NumNodes())
+	for i := range deg {
+		deg[i] = float64(g.Degree(int32(i)))
+	}
+	return deg
+}
+
+// TopEntries extracts the k best rows with the bounded-heap selector — the
+// full score vector is never sorted, so k ≪ n queries stay O(n log k).
+func TopEntries(g *graph.Graph, scores []float64, k int) []Entry {
+	idx := stats.TopKHeap(scores, k)
+	out := make([]Entry, len(idx))
+	for i, u := range idx {
+		out[i] = Entry{
+			Rank: i + 1, Node: int32(u), Degree: g.Degree(int32(u)), Score: scores[u],
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"d2pr/internal/graph"
+)
+
+// FuzzSniffWeighted asserts that edge-list weight sniffing plus the full
+// file-load path never panic, whatever bytes are on disk. Accepted loads
+// must produce structurally valid graphs.
+func FuzzSniffWeighted(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n3\t4\t2.5\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("# only comments\n#\n"))
+	f.Add([]byte("0 1 2 3 4 5\n"))
+	f.Add([]byte("\x00\xff\xfe binary junk\n0 1\n"))
+	f.Add([]byte("0 1 NaN\n"))
+	f.Add([]byte("9999999999999999999999 1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.tsv")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := sniffWeighted(path)
+		if err != nil {
+			return // unreadable first line is a rejection, not a crash
+		}
+		// Drive the sniffed verdict through the real loader the way
+		// LoadDir would: neither outcome may panic.
+		r := New()
+		if err := r.AddFile("fuzz", path, graph.Undirected, weighted, ""); err != nil {
+			return
+		}
+		snap, err := r.Get("fuzz")
+		if err != nil {
+			return // malformed edge lists are rejected gracefully
+		}
+		if err := snap.Graph.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v (input %q)", err, data)
+		}
+	})
+}
+
+// FuzzSigSidecar asserts that a malformed .sig sidecar never panics the
+// loader: a fixed valid edge list is paired with arbitrary sidecar bytes,
+// and the only acceptable outcomes are a clean rejection or a snapshot
+// whose significance vector matches the node count.
+func FuzzSigSidecar(f *testing.F) {
+	f.Add([]byte("0\t0.5\n1\t0.25\n2\t1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("# c\n2\t-3e8\n"))
+	f.Add([]byte("0\t0.5\t0.5\n"))
+	f.Add([]byte("zero\t0.5\n"))
+	f.Add([]byte("0 Inf\n"))
+	f.Add([]byte("-1\t2\n"))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add([]byte("99999999\t1\n")) // dense-range blowup must be bounded by len check
+	f.Fuzz(func(t *testing.T, sig []byte) {
+		dir := t.TempDir()
+		edges := filepath.Join(dir, "g.tsv")
+		if err := os.WriteFile(edges, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sigPath := filepath.Join(dir, "g.sig")
+		if err := os.WriteFile(sigPath, sig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := New()
+		if err := r.AddFile("g", edges, graph.Undirected, false, sigPath); err != nil {
+			return
+		}
+		snap, err := r.Get("g")
+		if err != nil {
+			return // rejected sidecar (parse error or length mismatch)
+		}
+		if snap.Significance != nil && len(snap.Significance) != snap.Graph.NumNodes() {
+			t.Fatalf("accepted %d significances for %d nodes (sig %q)",
+				len(snap.Significance), snap.Graph.NumNodes(), sig)
+		}
+	})
+}
+
+// FuzzLoadDir drives directory registration with one fuzzed edge list and
+// one fuzzed sidecar at once — the combination LoadDir wires together
+// (sniffing, .directed name parsing, sidecar discovery) must never panic.
+func FuzzLoadDir(f *testing.F) {
+	f.Add([]byte("0 1\n"), []byte("0\t1\n1\t0.5\n"))
+	f.Add([]byte("0 1 0.5\n"), []byte(""))
+	f.Add([]byte("#\n"), []byte("#\n"))
+	f.Add([]byte("a b c\n"), []byte("x"))
+	f.Fuzz(func(t *testing.T, edges, sig []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "g.directed.tsv"), edges, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "g.sig"), sig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := New()
+		if _, err := r.LoadDir(dir); err != nil {
+			return // sniffing rejected the file
+		}
+		for _, name := range r.Names() {
+			snap, err := r.Get(name)
+			if err != nil {
+				continue
+			}
+			if err := snap.Graph.Validate(); err != nil {
+				t.Fatalf("accepted graph %s fails validation: %v", name, err)
+			}
+		}
+	})
+}

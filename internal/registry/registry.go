@@ -217,6 +217,14 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// Has reports whether name is registered, without forcing a load.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
 // Len returns the number of registered graphs.
 func (r *Registry) Len() int {
 	r.mu.RLock()
@@ -290,7 +298,10 @@ func loadEdgeListFile(path string, kind graph.Kind, weighted bool, sigPath strin
 		if err != nil {
 			return nil, nil, err
 		}
-		sig, err = graph.ReadScores(sf)
+		// The graph is already loaded, so its node count bounds the score
+		// ids exactly — a malformed sidecar cannot demand an allocation
+		// beyond n entries.
+		sig, err = graph.ReadScoresFor(sf, g.NumNodes())
 		sf.Close()
 		if err != nil {
 			return nil, nil, err

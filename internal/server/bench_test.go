@@ -1,19 +1,31 @@
-// Serving-layer benchmarks for the ISSUE-1 acceptance criteria:
+// Serving-layer benchmarks for the ISSUE-1 and ISSUE-2 acceptance criteria:
 //
 //	BenchmarkRankRequestCold vs. BenchmarkRankRequestWarm — a repeat
 //	/v1/{graph}/rank request served from the rank cache must be ≥10×
 //	faster than the cold solve (in practice the gap is 10³–10⁵×).
 //
-//	go test ./internal/server -bench=BenchmarkRankRequest -benchmem
+//	BenchmarkSweep20Sequential vs. BenchmarkSweep20Batch — a 20-point
+//	p-sweep as one /v1/{graph}/rank/batch request (one snapshot, one CSR,
+//	request-local worker pool) must measurably beat 20 sequential cold
+//	/v1/{graph}/rank round trips.
+//
+//	go test ./internal/server -bench='BenchmarkRankRequest|BenchmarkSweep20'
+//
+// scripts/bench.sh runs exactly these and emits BENCH_serve.json for the
+// perf trajectory across PRs.
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"d2pr/internal/dataset"
+	"d2pr/internal/jobs"
+	"d2pr/internal/rankcache"
 	"d2pr/internal/registry"
 )
 
@@ -46,6 +58,83 @@ func BenchmarkRankRequestCold(b *testing.B) {
 		h.ServeHTTP(rec, req)
 		if rec.Code != 200 {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// sweepPs returns 20 distinct de-coupling weights, offset per benchmark
+// iteration so every configuration misses the cache and pays a full solve.
+func sweepPs(iter int) []float64 {
+	ps := make([]float64, 20)
+	for i := range ps {
+		ps[i] = 0.05*float64(i) + float64(iter)*1e-9
+	}
+	return ps
+}
+
+// BenchmarkSweep20Sequential runs a 20-point p-sweep the pre-jobs way: 20
+// sequential /v1/{graph}/rank round trips, each resolving the graph and
+// solving cold.
+func BenchmarkSweep20Sequential(b *testing.B) {
+	h := benchHandler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range sweepPs(i) {
+			url := fmt.Sprintf("/v1/imdb-actor-actor/rank?top=10&p=%g", p)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
+// BenchmarkSweep20Batch runs the same sweep as one /rank/batch request: one
+// registry snapshot, one CSR, configurations solved concurrently on the
+// request-local worker pool.
+func BenchmarkSweep20Batch(b *testing.B) {
+	h := benchHandler(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parts := make([]string, 0, 20)
+		for _, p := range sweepPs(i) {
+			parts = append(parts, fmt.Sprintf("%g", p))
+		}
+		body := fmt.Sprintf(`{"ps": [%s], "top_k": 10}`, strings.Join(parts, ","))
+		req := httptest.NewRequest("POST", "/v1/imdb-actor-actor/rank/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkSweep20BatchSerial runs the batch execution path with a
+// one-worker pool, isolating the SweepSolver amortization (shared log Θ̂
+// table, β-blend partner, flow transpose, per-node factor table) from the
+// concurrency win the default pool adds on multi-core hosts. Compare
+// against BenchmarkSweep20Sequential for the pure amortization effect.
+func BenchmarkSweep20BatchSerial(b *testing.B) {
+	reg := registry.New()
+	if err := reg.AddDataset(dataset.IMDBActorActor, dataset.Config{Scale: 0.5, Seed: 7}); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := reg.Get(dataset.IMDBActorActor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := rankcache.New(4)
+	serialSem := make(chan struct{}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw := jobs.SweepSpec{Graph: snap.Name, Ps: sweepPs(i), TopK: 10}
+		results := jobs.RunSync(context.Background(), snap, sw, cache, serialSem)
+		for _, row := range results {
+			if row.Error != "" {
+				b.Fatal(row.Error)
+			}
 		}
 	}
 }

@@ -1,0 +1,371 @@
+// End-to-end HTTP integration test: one server over a registry mixing all
+// three source kinds (memory, file, dataset), driven through the full route
+// surface over real TCP — graphs listing, ranking, top-k, node lookup,
+// correlation, metrics, the synchronous batch sweep, and the asynchronous
+// job lifecycle (submit, poll, stream NDJSON results, cancel). The job
+// section also proves the tentpole acceptance property: results computed by
+// a job are later served to /rank as cache hits.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"d2pr/internal/dataset"
+	"d2pr/internal/jobs"
+	"d2pr/internal/registry"
+)
+
+// e2eFileGraph is a 12-node weighted undirected graph written to disk so the
+// registry's file loader (weight sniffing + .sig sidecar discovery) is on
+// the tested path.
+const e2eFileGraph = `# e2e test graph: hub 0, ring 1..11 with chords
+0 1 1.0
+0 2 2.0
+0 3 1.5
+0 4 1.0
+1 2 1.0
+2 3 0.5
+3 4 2.5
+4 5 1.0
+5 6 1.0
+6 7 3.0
+7 8 1.0
+8 9 1.0
+9 10 1.5
+10 11 1.0
+11 1 2.0
+5 9 1.0
+`
+
+func e2eServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "web.tsv"), []byte(e2eFileGraph), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sig strings.Builder
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&sig, "%d\t%g\n", i, float64((i*7)%12)/12)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "web.sig"), []byte(sig.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := registry.New()
+	if n, err := reg.LoadDir(dir); err != nil || n != 1 {
+		t.Fatalf("LoadDir: %d graphs, err %v", n, err)
+	}
+	if err := reg.AddGraph("mem", testGraph(t), []float64{0.1, 0.9, 0.4, 0.8, 0.3, 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddDataset(dataset.IMDBActorActor, dataset.Config{Scale: 0.5, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewMulti(reg, Config{CacheSize: 128, JobWorkers: 4, JobTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// pollJob polls the status route until the job is terminal.
+func pollJob(t *testing.T, base, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st jobs.Status
+		if code := getJSON(t, base+"/v1/jobs/"+id, &st); code != 200 {
+			t.Fatalf("poll status %d", code)
+		}
+		switch st.State {
+		case jobs.StateDone, jobs.StateFailed, jobs.StateCancelled:
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not reach a terminal state")
+	return jobs.Status{}
+}
+
+func TestE2EServing(t *testing.T) {
+	s, ts := e2eServer(t)
+
+	// --- Graph listing: all three source kinds registered, none loaded.
+	var gl GraphsResponse
+	if code := getJSON(t, ts.URL+"/v1/graphs", &gl); code != 200 {
+		t.Fatalf("graphs: %d", code)
+	}
+	if len(gl.Graphs) != 3 {
+		t.Fatalf("graphs = %+v", gl.Graphs)
+	}
+	kinds := map[string]bool{}
+	for _, g := range gl.Graphs {
+		if g.Loaded {
+			t.Errorf("graph %s loaded before first request", g.Name)
+		}
+		kinds[strings.SplitN(g.Source, ":", 2)[0]] = true
+	}
+	for _, want := range []string{"memory", "file", "dataset"} {
+		if !kinds[want] {
+			t.Errorf("missing source kind %q in %+v", want, gl.Graphs)
+		}
+	}
+
+	// --- Info on the file graph: sniffed weighted, sidecar significance.
+	var info GraphInfo
+	if code := getJSON(t, ts.URL+"/v1/web/info", &info); code != 200 {
+		t.Fatalf("info: %d", code)
+	}
+	if info.Nodes != 12 || !info.Weighted || !info.HasSignificance {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// --- Rank / topk / node / correlate across the three graphs.
+	var rank RankResponse
+	if code := getJSON(t, ts.URL+"/v1/web/rank?p=0.5&beta=0.5&top=5", &rank); code != 200 {
+		t.Fatalf("rank: %d", code)
+	}
+	if len(rank.Top) != 5 || rank.Top[0].Rank != 1 {
+		t.Fatalf("rank top = %+v", rank.Top)
+	}
+	var topk RankResponse
+	if code := getJSON(t, ts.URL+"/v1/mem/topk?k=3", &topk); code != 200 {
+		t.Fatalf("topk: %d", code)
+	}
+	if len(topk.Top) != 3 {
+		t.Fatalf("topk = %+v", topk)
+	}
+	var node NodeResponse
+	if code := getJSON(t, ts.URL+"/v1/web/node/0?p=0.5&beta=0.5", &node); code != 200 {
+		t.Fatalf("node: %d", code)
+	}
+	if node.Node != 0 || node.Degree != 4 || node.Rank < 1 {
+		t.Fatalf("node = %+v", node)
+	}
+	var corr CorrelateResponse
+	if code := getJSON(t, ts.URL+"/v1/web/correlate?p=1", &corr); code != 200 {
+		t.Fatalf("correlate: %d", code)
+	}
+	if corr.Spearman < -1 || corr.Spearman > 1 {
+		t.Fatalf("correlate = %+v", corr)
+	}
+	var ds RankResponse
+	if code := getJSON(t, ts.URL+"/v1/"+dataset.IMDBActorActor+"/topk?k=5", &ds); code != 200 {
+		t.Fatalf("dataset topk: %d", code)
+	}
+	if len(ds.Top) != 5 {
+		t.Fatalf("dataset topk = %+v", ds.Top)
+	}
+
+	// --- Metrics reflect the traffic so far.
+	var m MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Requests < 7 || m.GraphsLoaded != 3 || m.GraphsRegistry != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// --- Jobs lifecycle: submit a 20-point p-sweep with correlation.
+	ps := make([]string, 20)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("%g", float64(i)*0.1)
+	}
+	sweep := fmt.Sprintf(`{"graph": "web", "ps": [%s], "betas": [0.5], "top_k": 3, "correlate": true}`,
+		strings.Join(ps, ","))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub JobSubmitted
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || sub.Job.ID == "" || sub.Job.Total != 20 {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, sub.Job)
+	}
+
+	// The job shows up in the listing.
+	var jl JobListResponse
+	if code := getJSON(t, ts.URL+"/v1/jobs", &jl); code != 200 || len(jl.Jobs) == 0 {
+		t.Fatalf("job list: %d %+v", code, jl)
+	}
+
+	st := pollJob(t, ts.URL, sub.Job.ID)
+	if st.State != jobs.StateDone || st.Completed != 20 || st.Failed != 0 {
+		t.Fatalf("job finished as %+v", st)
+	}
+
+	// JSON results: 20 rows, each correlated, each with its cache config.
+	var jr JobResultsResponse
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.Job.ID+"/results", &jr); code != 200 {
+		t.Fatalf("results: %d", code)
+	}
+	if len(jr.Results) != 20 {
+		t.Fatalf("results = %d rows", len(jr.Results))
+	}
+	for _, row := range jr.Results {
+		if row.Error != "" || row.Spearman == nil || len(row.Top) != 3 {
+			t.Fatalf("row = %+v", row)
+		}
+	}
+
+	// NDJSON streaming: one line per row plus a terminal status line.
+	nresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.Job.ID + "/results?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	if ct := nresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("ndjson content type %q", ct)
+	}
+	sc := bufio.NewScanner(nresp.Body)
+	rows, sawStatus := 0, false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var row jobs.ConfigResult
+		if err := json.Unmarshal(line, &row); err == nil && row.Config != "" {
+			rows++
+			continue
+		}
+		var tail JobSubmitted
+		if err := json.Unmarshal(line, &tail); err == nil && tail.Job.State == jobs.StateDone {
+			sawStatus = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 20 || !sawStatus {
+		t.Fatalf("ndjson: %d rows, status line %v", rows, sawStatus)
+	}
+
+	// --- Acceptance: the job's solves now serve /rank as cache hits.
+	// (Results arrive in completion order; pick one row and re-request its
+	// exact configuration.)
+	row := jr.Results[13]
+	hitsBefore := s.Cache().Stats().Hits
+	var warm RankResponse
+	warmURL := fmt.Sprintf("%s/v1/web/rank?p=%g&beta=%g&top=3", ts.URL, row.Spec.P, row.Spec.Beta)
+	if code := getJSON(t, warmURL, &warm); code != 200 {
+		t.Fatalf("warm rank: %d", code)
+	}
+	if hitsAfter := s.Cache().Stats().Hits; hitsAfter <= hitsBefore {
+		t.Errorf("swept configuration was not served from cache (hits %d → %d)", hitsBefore, hitsAfter)
+	}
+	if warm.Config != row.Config {
+		t.Errorf("config mismatch: rank %q vs job row %q", warm.Config, row.Config)
+	}
+
+	// --- Cancellation: a worst-case-size sweep on the big dataset graph is
+	// cancelled right after submit; it must stop early. (If cancellation
+	// broke, the poll below would grind through the full 4096-solve grid.)
+	bigPs := make([]string, 0, jobs.MaxGridSize)
+	for i := 0; i < jobs.MaxGridSize; i++ {
+		bigPs = append(bigPs, fmt.Sprintf("%g", 2+float64(i)*1e-6))
+	}
+	cancelSweep := fmt.Sprintf(`{"graph": %q, "ps": [%s]}`, dataset.IMDBActorActor, strings.Join(bigPs, ","))
+	resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(cancelSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub2 JobSubmitted
+	if err := json.NewDecoder(resp.Body).Decode(&sub2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub2.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != 200 {
+		t.Fatalf("cancel: %d", dresp.StatusCode)
+	}
+	final := pollJob(t, ts.URL, sub2.Job.ID)
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("cancelled job finished as %s (%d/%d)", final.State, final.Completed, final.Total)
+	}
+	if final.Completed >= final.Total {
+		t.Errorf("cancellation did not stop the grid (%d/%d)", final.Completed, final.Total)
+	}
+
+	// --- Metrics now carry job counters.
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if m.Jobs.Submitted != 2 || m.Jobs.Done != 1 || m.Jobs.Cancelled != 1 {
+		t.Errorf("job metrics = %+v", m.Jobs)
+	}
+}
+
+// TestE2EStreamFollowsRunningJob submits a sweep and opens the NDJSON stream
+// while it runs: rows must arrive incrementally and the stream must end with
+// the terminal status — the single-request "submit and consume" pattern.
+func TestE2EStreamFollowsRunningJob(t *testing.T) {
+	_, ts := e2eServer(t)
+	ps := make([]string, 30)
+	for i := range ps {
+		ps[i] = fmt.Sprintf("%g", float64(i)*0.05)
+	}
+	sweep := fmt.Sprintf(`{"graph": %q, "ps": [%s]}`, dataset.IMDBActorActor, strings.Join(ps, ","))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub JobSubmitted
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+sub.Job.ID+"/results?format=ndjson", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	sc := bufio.NewScanner(nresp.Body)
+	rows, sawStatus := 0, false
+	for sc.Scan() {
+		var row jobs.ConfigResult
+		if err := json.Unmarshal(sc.Bytes(), &row); err == nil && row.Config != "" {
+			rows++
+			continue
+		}
+		var tail JobSubmitted
+		if err := json.Unmarshal(sc.Bytes(), &tail); err == nil {
+			sawStatus = tail.Job.State == jobs.StateDone
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 30 || !sawStatus {
+		t.Fatalf("followed stream: %d rows, done status %v", rows, sawStatus)
+	}
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"d2pr/internal/jobs"
 	"d2pr/internal/rankcache"
 )
 
@@ -49,6 +51,7 @@ type MetricsResponse struct {
 	AvgLatencyMs   float64         `json:"avg_latency_ms"`
 	Routes         []RouteCount    `json:"routes"`
 	Cache          rankcache.Stats `json:"cache"`
+	Jobs           jobs.Stats      `json:"jobs"`
 	GraphsLoaded   int             `json:"graphs_loaded"`
 	GraphsRegistry int             `json:"graphs_registered"`
 }
@@ -70,6 +73,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.mu.Unlock()
 	sort.Slice(resp.Routes, func(a, b int) bool { return resp.Routes[a].Route < resp.Routes[b].Route })
 	resp.Cache = s.cache.Stats()
+	resp.Jobs = s.jobs.Stats()
 	for _, st := range s.reg.Statuses() {
 		resp.GraphsRegistry++
 		if st.Loaded {
@@ -79,25 +83,64 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// statusRecorder captures the response status for logging/metrics.
+// statusRecorder captures the response status for logging/metrics and
+// rewrites the mux's built-in plain-text 404/405 fallbacks into the JSON
+// error shape every other response uses. The mux records the matched pattern
+// on the request before invoking a handler, so an empty pattern at
+// WriteHeader time means the response is coming from the mux itself (no
+// route matched, or the path matched under a different method) — exactly the
+// responses whose bodies we replace.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	req     *http.Request
+	status  int
+	rewrote bool
 }
 
 func (sr *statusRecorder) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		sr.req.Pattern == "" && !sr.rewrote {
+		sr.rewrote = true
+		sr.status = status
+		h := sr.Header()
+		h.Set("Content-Type", "application/json")
+		sr.ResponseWriter.WriteHeader(status)
+		msg := "no such route"
+		if status == http.StatusMethodNotAllowed {
+			msg = "method not allowed"
+		}
+		_ = json.NewEncoder(sr.ResponseWriter).Encode(errorBody{Error: msg})
+		return
+	}
 	sr.status = status
 	sr.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps the mux with request logging and metrics collection.
-// Metrics are bucketed by the matched route pattern (not the raw path), so
-// per-graph traffic aggregates under one counter per endpoint.
-func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+// Write swallows the default text body after a rewrite; everything else
+// passes through.
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.rewrote {
+		return len(b), nil
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (NDJSON job
+// results) still flush through the middleware.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the handler tree with request logging and metrics
+// collection. Metrics are bucketed by the matched route pattern (not the raw
+// path), so per-graph traffic aggregates under one counter per endpoint.
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		mux.ServeHTTP(rec, r)
+		rec := &statusRecorder{ResponseWriter: w, req: r, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
 		elapsed := time.Since(started)
 		// The mux records the matched pattern on the request itself;
 		// unmatched paths and method mismatches leave it empty.
@@ -110,4 +153,22 @@ func (s *Server) instrument(mux *http.ServeMux) http.Handler {
 			s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, elapsed.Round(time.Microsecond))
 		}
 	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Too late to change the status; nothing useful to do.
+		_ = err
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }

@@ -2,19 +2,32 @@
 // over a registry of named graphs. Graphs load lazily on first request;
 // score vectors are cached in an LRU keyed by the full ranking configuration
 // with single-flight deduplication, so repeated queries cost one map lookup
-// and concurrent identical queries share one solve.
+// and concurrent identical queries share one solve. Parameter sweeps run as
+// asynchronous jobs (internal/jobs) on a bounded worker pool, or
+// synchronously in one batch request for small grids.
 //
 // Endpoints (see docs/server-api.md for the full contract):
 //
-//	GET /healthz                        → liveness
-//	GET /metrics                        → request counters + cache stats
-//	GET /v1/graphs                      → registered graphs + load state
-//	GET /v1/{graph}/info                → graph summary + Table-3 statistics
-//	GET /v1/{graph}/rank                → full scores or top-k rows
-//	GET /v1/{graph}/topk?k=10           → top-k rows via bounded-heap select
-//	GET /v1/{graph}/node/{id}           → one node's score, rank, degree
-//	GET /v1/{graph}/correlate           → Spearman vs. the graph's
+//	GET    /healthz                     → liveness
+//	GET    /metrics                     → request counters + cache/job stats
+//	GET    /v1/graphs                   → registered graphs + load state
+//	GET    /v1/{graph}/info             → graph summary + Table-3 statistics
+//	GET    /v1/{graph}/rank             → full scores or top-k rows
+//	POST   /v1/{graph}/rank/batch       → synchronous small-grid sweep
+//	GET    /v1/{graph}/topk?k=10        → top-k rows via bounded-heap select
+//	GET    /v1/{graph}/node/{id}        → one node's score, rank, degree
+//	GET    /v1/{graph}/correlate        → Spearman vs. the graph's
 //	                                      significance vector (if any)
+//	POST   /v1/jobs                     → submit an async sweep job
+//	GET    /v1/jobs                     → list jobs
+//	GET    /v1/jobs/{id}                → job status + progress
+//	DELETE /v1/jobs/{id}                → cancel a job
+//	GET    /v1/jobs/{id}/results        → results (JSON or streamed NDJSON)
+//
+// "jobs" is a reserved path segment: a registry graph named "jobs" would be
+// shadowed by the job routes and is rejected at construction. (Entries
+// added to the registry under that name after construction are silently
+// shadowed — don't.)
 //
 // Ranking parameters (rank, topk, node, correlate): algo=d2pr|pagerank|
 // hits|degree, p, beta, alpha, seeds=3,17 (personalized teleport).
@@ -23,17 +36,19 @@
 package server
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
-	"d2pr/internal/core"
 	"d2pr/internal/graph"
+	"d2pr/internal/jobs"
 	"d2pr/internal/rankcache"
+	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
 	"d2pr/internal/stats"
 )
@@ -43,6 +58,12 @@ type Config struct {
 	// CacheSize bounds the number of resident score vectors.
 	// 0 means rankcache.DefaultCapacity.
 	CacheSize int
+	// JobWorkers bounds concurrently-executing sweep configurations across
+	// all jobs. 0 means jobs.DefaultWorkers.
+	JobWorkers int
+	// JobTTL is how long finished job results stay retrievable.
+	// 0 means jobs.DefaultTTL.
+	JobTTL time.Duration
 	// Logger receives one line per request when non-nil.
 	Logger *log.Logger
 }
@@ -51,22 +72,38 @@ type Config struct {
 type Server struct {
 	reg     *registry.Registry
 	cache   *rankcache.Cache
+	jobs    *jobs.Manager
 	logger  *log.Logger
 	metrics *metrics
 }
 
 // NewMulti creates a Server over a registry. The registry may keep gaining
-// entries after the server starts; it must not be nil or empty.
+// entries after the server starts; it must not be nil or empty, and must not
+// contain a graph named "jobs" (reserved for the job routes).
 func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
 	if reg == nil || reg.Len() == 0 {
 		return nil, errors.New("server: registry is empty")
 	}
-	return &Server{
+	if reg.Has("jobs") {
+		return nil, errors.New(`server: graph name "jobs" is reserved for the job routes`)
+	}
+	s := &Server{
 		reg:     reg,
 		cache:   rankcache.New(cfg.CacheSize),
 		logger:  cfg.Logger,
 		metrics: newMetrics(),
-	}, nil
+	}
+	mgr, err := jobs.New(jobs.Options{
+		Workers: cfg.JobWorkers,
+		TTL:     cfg.JobTTL,
+		Resolve: reg.Get,
+		Cache:   s.cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
+	return s, nil
 }
 
 // New creates a single-graph Server, registering g under the name "default".
@@ -86,8 +123,20 @@ func New(g *graph.Graph, significance []float64) (*Server, error) {
 // Cache exposes the result cache (for warming and stats).
 func (s *Server) Cache() *rankcache.Cache { return s.cache }
 
+// Jobs exposes the sweep-job manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close drains the job subsystem: no new jobs are accepted and running jobs
+// finish. If ctx expires first, remaining jobs are cancelled (in-flight
+// solves still complete) and ctx's error is returned.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Close(ctx)
+}
+
 // Handler returns the HTTP handler tree wrapped in the logging/metrics
-// middleware.
+// middleware. The job routes live on their own mux dispatched by path
+// prefix: "/v1/jobs/{id}" and "/v1/{graph}/info" would otherwise be
+// conflicting ServeMux patterns (neither is more specific).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -98,10 +147,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("GET /v1/{graph}/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/{graph}/rank", s.handleRank)
+	mux.HandleFunc("POST /v1/{graph}/rank/batch", s.handleRankBatch)
 	mux.HandleFunc("GET /v1/{graph}/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/{graph}/node/{id}", s.handleNode)
 	mux.HandleFunc("GET /v1/{graph}/correlate", s.handleCorrelate)
-	return s.instrument(mux)
+
+	jobsMux := http.NewServeMux()
+	jobsMux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	jobsMux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	jobsMux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	jobsMux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	jobsMux.HandleFunc("GET /v1/jobs/{id}/results", s.handleJobResults)
+
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs" || strings.HasPrefix(r.URL.Path, "/v1/jobs/") {
+			jobsMux.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+	return s.instrument(root)
 }
 
 // Warm precomputes d2pr scores for every registered graph at each
@@ -109,84 +174,33 @@ func (s *Server) Handler() http.Handler {
 // graphs as needed. It runs in the background with the given parallelism and
 // returns a channel that closes when the sweep completes.
 func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct{} {
-	var jobs []rankcache.Job
+	var warmJobs []rankcache.Job
 	for _, name := range s.reg.Names() {
 		for _, p := range ps {
-			q := rankQuery{Graph: name, Algo: "d2pr", P: p, Beta: beta, Alpha: core.DefaultAlpha}
-			jobs = append(jobs, rankcache.Job{
-				Key: q.cacheKey(),
+			spec := rankspec.New(name)
+			spec.P, spec.Beta = p, beta
+			warmJobs = append(warmJobs, rankcache.Job{
+				Key: spec.CacheKey(),
 				Compute: func() ([]float64, error) {
-					snap, err := s.reg.Get(q.Graph)
+					snap, err := s.reg.Get(spec.Graph)
 					if err != nil {
 						return nil, err
 					}
-					return computeScores(snap, q)
+					return spec.Compute(snap)
 				},
 			})
 		}
 	}
-	return s.cache.Warm(jobs, parallelism)
-}
-
-// rankQuery is the parsed, canonicalized query configuration.
-type rankQuery struct {
-	Graph string
-	Algo  string
-	P     float64
-	Beta  float64
-	Alpha float64
-	Seeds []int32
-}
-
-// opts returns the solver options for the query (teleport built over n
-// nodes).
-func (q rankQuery) opts(n int) core.Options {
-	o := core.Options{Alpha: q.Alpha}
-	if len(q.Seeds) > 0 {
-		tele := make([]float64, n)
-		for _, sd := range q.Seeds {
-			tele[sd] = 1
-		}
-		o.Teleport = tele
-	}
-	return o
-}
-
-// cacheKey derives the rankcache key, canonicalizing parameters each
-// algorithm ignores so equivalent configurations share one cache slot:
-// p/β for everything but d2pr, alpha and seeds additionally for HITS (which
-// only reads Tol/MaxIter), and every solver option for degree centrality.
-// The teleport component of Options.CacheKey depends on n, which is unknown
-// before the graph loads; seeds are appended verbatim instead, which is
-// strictly finer and therefore still correct.
-func (q rankQuery) cacheKey() rankcache.Key {
-	p, beta, alpha, seeds := q.P, q.Beta, q.Alpha, q.Seeds
-	switch q.Algo {
-	case "degree":
-		return rankcache.NewKey(q.Graph, q.Algo, 0, 0, "")
-	case "hits":
-		p, beta, alpha, seeds = 0, 0, core.DefaultAlpha, nil
-	case "pagerank":
-		p, beta = 0, 0
-	}
-	optsKey := core.Options{Alpha: alpha}.CacheKey()
-	if len(seeds) > 0 {
-		parts := make([]string, len(seeds))
-		for i, sd := range seeds {
-			parts[i] = strconv.Itoa(int(sd))
-		}
-		optsKey += "|seeds=" + strings.Join(parts, ",")
-	}
-	return rankcache.NewKey(q.Graph, q.Algo, p, beta, optsKey)
+	return s.cache.Warm(warmJobs, parallelism)
 }
 
 // parseRankQuery extracts and validates the ranking parameters. Seed bounds
 // are checked against the materialized graph.
-func parseRankQuery(r *http.Request, snap *registry.Snapshot) (rankQuery, error) {
-	q := rankQuery{Graph: snap.Name, Algo: "d2pr", Alpha: core.DefaultAlpha}
+func parseRankQuery(r *http.Request, snap *registry.Snapshot) (rankspec.Spec, error) {
+	spec := rankspec.New(snap.Name)
 	vals := r.URL.Query()
 	if a := vals.Get("algo"); a != "" {
-		q.Algo = a
+		spec.Algo = a
 	}
 	parseF := func(name string, dst *float64) error {
 		if v := vals.Get(name); v != "" {
@@ -198,80 +212,40 @@ func parseRankQuery(r *http.Request, snap *registry.Snapshot) (rankQuery, error)
 		}
 		return nil
 	}
-	if err := parseF("p", &q.P); err != nil {
-		return q, err
+	if err := parseF("p", &spec.P); err != nil {
+		return spec, err
 	}
-	if err := parseF("beta", &q.Beta); err != nil {
-		return q, err
+	if err := parseF("beta", &spec.Beta); err != nil {
+		return spec, err
 	}
-	if err := parseF("alpha", &q.Alpha); err != nil {
-		return q, err
-	}
-	if q.Alpha <= 0 || q.Alpha >= 1 {
-		return q, fmt.Errorf("alpha %v out of (0, 1)", q.Alpha)
-	}
-	if q.Beta < 0 || q.Beta > 1 {
-		return q, fmt.Errorf("beta %v out of [0, 1]", q.Beta)
+	if err := parseF("alpha", &spec.Alpha); err != nil {
+		return spec, err
 	}
 	if seeds := vals.Get("seeds"); seeds != "" {
 		for _, part := range strings.Split(seeds, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || id < 0 || id >= snap.Graph.NumNodes() {
-				return q, fmt.Errorf("bad seed %q", part)
+				return spec, fmt.Errorf("bad seed %q", part)
 			}
-			q.Seeds = append(q.Seeds, int32(id))
+			spec.Seeds = append(spec.Seeds, int32(id))
 		}
 	}
-	switch q.Algo {
-	case "d2pr", "pagerank", "hits", "degree":
-	default:
-		return q, fmt.Errorf("unknown algo %q (want d2pr|pagerank|hits|degree)", q.Algo)
+	if err := spec.Validate(snap.Graph.NumNodes()); err != nil {
+		return spec, err
 	}
-	return q, nil
+	return spec, nil
 }
 
-// computeScores runs the configured algorithm on the snapshot's graph.
-func computeScores(snap *registry.Snapshot, q rankQuery) ([]float64, error) {
-	g := snap.Graph
-	opts := q.opts(g.NumNodes())
-	switch q.Algo {
-	case "d2pr":
-		t, err := core.Blended(g, q.P, q.Beta)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Solve(t, opts)
-		if err != nil {
-			return nil, err
-		}
-		return res.Scores, nil
-	case "pagerank":
-		res, err := core.PageRank(g, opts)
-		if err != nil {
-			return nil, err
-		}
-		return res.Scores, nil
-	case "hits":
-		res, err := core.HITS(g, opts)
-		if err != nil {
-			return nil, err
-		}
-		return res.Authorities, nil
-	case "degree":
-		return core.DegreeCentrality(g), nil
-	}
-	return nil, fmt.Errorf("unknown algo %q", q.Algo)
-}
-
-// scores returns the (cached) score vector for a query. Concurrent identical
+// scores returns the (cached) score vector for a spec. Concurrent identical
 // requests share one solve via the cache's single-flight path.
-func (s *Server) scores(snap *registry.Snapshot, q rankQuery) ([]float64, error) {
-	return s.cache.Get(q.cacheKey(), func() ([]float64, error) {
-		return computeScores(snap, q)
+func (s *Server) scores(snap *registry.Snapshot, spec rankspec.Spec) ([]float64, error) {
+	return s.cache.Get(spec.CacheKey(), func() ([]float64, error) {
+		return spec.Compute(snap)
 	})
 }
 
 // snapshot resolves the {graph} path component against the registry.
+// Unknown names are 404 on every /v1/{graph}/... route; load failures 500.
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
 	name := r.PathValue("graph")
 	snap, err := s.reg.Get(name)
@@ -330,12 +304,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // RankEntry is one row of a top-k response.
-type RankEntry struct {
-	Rank   int     `json:"rank"`
-	Node   int32   `json:"node"`
-	Degree int     `json:"degree"`
-	Score  float64 `json:"score"`
-}
+type RankEntry = rankspec.Entry
 
 // RankResponse is the /v1/{graph}/rank and /v1/{graph}/topk response body.
 type RankResponse struct {
@@ -350,7 +319,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q, err := parseRankQuery(r, snap)
+	spec, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -365,14 +334,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	scores, err := s.scores(snap, q)
+	scores, err := s.scores(snap, spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp := RankResponse{Graph: snap.Name, Config: string(q.cacheKey())}
+	resp := RankResponse{Graph: snap.Name, Config: string(spec.CacheKey())}
 	if top > 0 {
-		resp.Top = topEntries(snap.Graph, scores, top)
+		resp.Top = rankspec.TopEntries(snap.Graph, scores, top)
 	} else {
 		resp.Scores = scores
 	}
@@ -384,7 +353,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q, err := parseRankQuery(r, snap)
+	spec, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -397,29 +366,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	scores, err := s.scores(snap, q)
+	scores, err := s.scores(snap, spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RankResponse{
 		Graph:  snap.Name,
-		Config: string(q.cacheKey()),
-		Top:    topEntries(snap.Graph, scores, k),
+		Config: string(spec.CacheKey()),
+		Top:    rankspec.TopEntries(snap.Graph, scores, k),
 	})
-}
-
-// topEntries extracts the k best rows with the bounded-heap selector — the
-// full score vector is never sorted, so k ≪ n queries stay O(n log k).
-func topEntries(g *graph.Graph, scores []float64, k int) []RankEntry {
-	idx := stats.TopKHeap(scores, k)
-	out := make([]RankEntry, len(idx))
-	for i, u := range idx {
-		out[i] = RankEntry{
-			Rank: i + 1, Node: int32(u), Degree: g.Degree(int32(u)), Score: scores[u],
-		}
-	}
-	return out
 }
 
 // NodeResponse is the /v1/{graph}/node/{id} response body.
@@ -442,12 +398,12 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown node %q", idStr))
 		return
 	}
-	q, err := parseRankQuery(r, snap)
+	spec, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(snap, q)
+	scores, err := s.scores(snap, spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -478,42 +434,20 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q has no significance vector", snap.Name))
 		return
 	}
-	q, err := parseRankQuery(r, snap)
+	spec, err := parseRankQuery(r, snap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(snap, q)
+	scores, err := s.scores(snap, spec)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	deg := make([]float64, snap.Graph.NumNodes())
-	for i := range deg {
-		deg[i] = float64(snap.Graph.Degree(int32(i)))
-	}
 	writeJSON(w, http.StatusOK, CorrelateResponse{
 		Graph:    snap.Name,
-		Config:   string(q.cacheKey()),
+		Config:   string(spec.CacheKey()),
 		Spearman: stats.Spearman(scores, snap.Significance),
-		DegreeR:  stats.Spearman(scores, deg),
+		DegreeR:  stats.Spearman(scores, rankspec.DegreeVector(snap.Graph)),
 	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Too late to change the status; nothing useful to do.
-		_ = err
-	}
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
 }

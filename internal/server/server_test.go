@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"d2pr/internal/graph"
 	"d2pr/internal/registry"
@@ -33,9 +36,21 @@ func testServer(t *testing.T, withSig bool) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	closeServer(t, s)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// closeServer drains the job subsystem when the test ends (stops the TTL
+// janitor goroutine).
+func closeServer(t *testing.T, s *Server) {
+	t.Helper()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Close(ctx)
+	})
 }
 
 // multiServer builds a two-graph server: "alpha" (with significance) and
@@ -57,6 +72,7 @@ func multiServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	closeServer(t, s)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -385,6 +401,169 @@ func TestWarm(t *testing.T) {
 	}
 	if after := s.Cache().Stats().Hits; after != before+1 {
 		t.Errorf("warmed config was not served from cache (hits %d → %d)", before, after)
+	}
+}
+
+// TestStatusCodesAndErrorShape is the table-driven contract test for the
+// error surface: every error response (including the mux's own unmatched-
+// route and method-mismatch fallbacks) must carry the right status code and
+// a JSON body with Content-Type: application/json. Unknown graph names are
+// 404 — never 400 — on every /v1/{graph}/... route.
+func TestStatusCodesAndErrorShape(t *testing.T) {
+	_, ts := multiServer(t)
+	cases := []struct {
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		// Unknown graph → 404 on every graph-scoped route.
+		{"GET", "/v1/nosuch/info", "", 404},
+		{"GET", "/v1/nosuch/rank", "", 404},
+		{"GET", "/v1/nosuch/topk", "", 404},
+		{"GET", "/v1/nosuch/node/0", "", 404},
+		{"GET", "/v1/nosuch/correlate", "", 404},
+		{"POST", "/v1/nosuch/rank/batch", "{}", 404},
+		// Malformed parameters → 400.
+		{"GET", "/v1/alpha/rank?algo=bogus", "", 400},
+		{"GET", "/v1/alpha/rank?alpha=2", "", 400},
+		{"GET", "/v1/alpha/rank?top=0", "", 400},
+		{"GET", "/v1/alpha/topk?k=-1", "", 400},
+		// Unknown node → 404; missing significance → 404.
+		{"GET", "/v1/alpha/node/999", "", 404},
+		{"GET", "/v1/beta/correlate", "", 404},
+		// Batch: bad body / oversized grid / graph mismatch → 400.
+		{"POST", "/v1/alpha/rank/batch", "{not json", 400},
+		{"POST", "/v1/alpha/rank/batch", `{"unknown_field": 1}`, 400},
+		{"POST", "/v1/alpha/rank/batch", `{"graph": "beta"}`, 400},
+		// Correlating a graph without significance → 404 (matches
+		// /correlate); a seed error must stay 400 even when the spec also
+		// has the correlate problem (first validation failure wins).
+		{"POST", "/v1/beta/rank/batch", `{"correlate": true}`, 404},
+		{"POST", "/v1/beta/rank/batch", `{"seeds": [999], "correlate": true}`, 400},
+		// Jobs: unknown id → 404 everywhere; bad submissions → 400/404.
+		{"GET", "/v1/jobs/job-999999", "", 404},
+		{"DELETE", "/v1/jobs/job-999999", "", 404},
+		{"GET", "/v1/jobs/job-999999/results", "", 404},
+		{"POST", "/v1/jobs", "{not json", 400},
+		{"POST", "/v1/jobs", `{"graph": "alpha"}{"correlate": true}`, 400}, // trailing JSON
+		{"POST", "/v1/jobs", `{"ps": [0.5]}`, 400},                         // missing graph is malformed, not unknown
+		{"POST", "/v1/jobs", `{"graph": "nosuch"}`, 404},
+		{"POST", "/v1/jobs", `{"graph": "alpha", "algo": "bogus"}`, 400},
+		// Unmatched routes → JSON 404 (not the mux's text/plain default).
+		{"GET", "/nope", "", 404},
+		{"GET", "/v1", "", 404},
+		{"GET", "/v1/alpha/bogus", "", 404},
+		{"GET", "/v1/jobs/job-000001/bogus", "", 404},
+		// Method mismatches → JSON 405.
+		{"POST", "/v1/graphs", "", 405},
+		{"DELETE", "/v1/alpha/rank", "", 405},
+		{"PUT", "/v1/jobs", "", 405},
+	}
+	for _, tc := range cases {
+		name := tc.method + " " + tc.path
+		var body *strings.Reader
+		if tc.body != "" {
+			body = strings.NewReader(tc.body)
+		} else {
+			body = strings.NewReader("")
+		}
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", name, ct)
+		}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Errorf("%s: body is not an error JSON: %v", name, err)
+		} else if eb.Error == "" {
+			t.Errorf("%s: empty error message", name)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestBatchEndpoint: a small synchronous sweep shares one snapshot, returns
+// a row per configuration, and leaves the cache warm for /rank.
+func TestBatchEndpoint(t *testing.T) {
+	s, ts := multiServer(t)
+	body := `{"ps": [0, 0.5, 1], "betas": [0], "top_k": 2, "correlate": true}`
+	resp, err := http.Post(ts.URL+"/v1/alpha/rank/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 3 || len(br.Results) != 3 {
+		t.Fatalf("batch = %+v", br)
+	}
+	for _, row := range br.Results {
+		if row.Error != "" || row.Cached || len(row.Top) != 2 || row.Spearman == nil {
+			t.Errorf("row = %+v", row)
+		}
+	}
+	if got := s.Cache().Len(); got != 3 {
+		t.Errorf("cache len after batch = %d, want 3", got)
+	}
+	// The batch solves now serve synchronous requests as cache hits.
+	before := s.Cache().Stats().Hits
+	var rr RankResponse
+	if code := getJSON(t, ts.URL+"/v1/alpha/rank?p=0.5", &rr); code != 200 {
+		t.Fatalf("rank after batch: %d", code)
+	}
+	if after := s.Cache().Stats().Hits; after != before+1 {
+		t.Errorf("batch result not hit by /rank (hits %d → %d)", before, after)
+	}
+	if rr.Config != br.Results[1].Config {
+		t.Errorf("config mismatch: rank %q vs batch %q", rr.Config, br.Results[1].Config)
+	}
+	// Oversized grids are rejected with a pointer to the async route.
+	big := fmt.Sprintf(`{"ps": %s}`, floatsJSON(MaxSyncGrid+1))
+	resp2, err := http.Post(ts.URL+"/v1/alpha/rank/batch", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Errorf("oversized grid: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// floatsJSON renders a JSON array of n distinct floats.
+func floatsJSON(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%g", float64(i)/100)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// TestReservedJobsGraphName: a registry containing a graph named "jobs"
+// would be shadowed by the job routes and must be rejected at construction.
+func TestReservedJobsGraphName(t *testing.T) {
+	reg := registry.New()
+	if err := reg.AddGraph("jobs", testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMulti(reg, Config{}); err == nil {
+		t.Error(`graph named "jobs" must be rejected`)
 	}
 }
 

@@ -22,8 +22,8 @@ func (h *scoreHeap) Less(a, b int) bool {
 	}
 	return h.idx[a] > h.idx[b]
 }
-func (h *scoreHeap) Swap(a, b int)   { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
-func (h *scoreHeap) Push(x any)      { h.idx = append(h.idx, x.(int)) }
+func (h *scoreHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *scoreHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
 func (h *scoreHeap) Pop() any {
 	n := len(h.idx)
 	v := h.idx[n-1]

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — serving-layer benchmark regression harness.
+#
+# Runs the serving benchmarks (cold solve, warm cache hit, 20-config
+# batch-vs-sequential sweep) and emits BENCH_serve.json so successive PRs
+# have a perf trajectory to compare against.
+#
+# Usage:
+#   scripts/bench.sh                 # default: -benchtime 1s, -count 1
+#   BENCHTIME=5x COUNT=3 scripts/bench.sh
+#   OUT=/tmp/bench.json scripts/bench.sh
+#
+# The JSON shape:
+#   {
+#     "generated_at": "2026-01-01T00:00:00Z",
+#     "go": "go1.24.x",
+#     "benchtime": "1s",
+#     "benchmarks": [
+#       {"name": "BenchmarkSweep20Batch", "iterations": 12,
+#        "ns_per_op": 61720138, "bytes_per_op": 123, "allocs_per_op": 45}
+#     ]
+#   }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_serve.json}"
+PATTERN='BenchmarkRankRequest|BenchmarkSweep20'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test ./internal/server -run '^$' -bench "$PATTERN" -benchmem \
+  -benchtime "$BENCHTIME" -count "$COUNT" | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v gover="$(go env GOVERSION)" \
+    -v benchtime="$BENCHTIME" '
+BEGIN {
+  printf "{\n  \"generated_at\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
+  sep = ""
+}
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+  printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", sep, name, $2, $3
+  for (i = 4; i < NF; i++) {
+    if ($(i+1) == "B/op")     printf ", \"bytes_per_op\": %s", $i
+    if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+  }
+  printf "}"
+  sep = ","
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT"
