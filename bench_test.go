@@ -289,6 +289,43 @@ func BenchmarkSolvePageRank(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBuild measures the one-time pull-topology build (transpose
+// + arc permutation + 1/outdeg table) that core.EngineFor caches per graph —
+// the work every Solve used to repeat and the serving path now pays once.
+func BenchmarkEngineBuild(b *testing.B) {
+	r := benchRunner(b)
+	d, err := r.Graph(dataset.EpinionsCommenter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Unweighted()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NewEngine(g)
+	}
+}
+
+// BenchmarkSolveWarmEngine is the serving steady state: repeated solves on
+// one graph through the cached engine (PageRank on an unweighted graph runs
+// the implicit uniform transition — no per-arc array anywhere).
+func BenchmarkSolveWarmEngine(b *testing.B) {
+	r := benchRunner(b)
+	d, err := r.Graph(dataset.EpinionsCommenter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Unweighted()
+	if _, err := core.PageRank(g, core.Options{Tol: 1e-8}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PageRank(g, core.Options{Tol: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTransitionBuild(b *testing.B) {
 	r := benchRunner(b)
 	d, err := r.Graph(dataset.EpinionsCommenter)

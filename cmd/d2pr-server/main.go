@@ -22,6 +22,10 @@
 // Parameter sweeps run as asynchronous jobs on a worker pool sized by
 // -job-workers; finished job results are retained for -job-ttl.
 //
+// -pprof localhost:6060 exposes net/http/pprof on a separate listener for
+// profiling hot solver paths; it is off by default and never mounted on the
+// serving mux.
+//
 // The server drains in-flight requests and running sweep jobs on
 // SIGINT/SIGTERM before exiting (10-second grace period).
 package main
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +67,7 @@ func main() {
 		warm       = flag.String("warm", "", "background-warm d2pr at these de-coupling weights, e.g. p=0,0.5,1")
 		jobWorkers = flag.Int("job-workers", 0, "concurrent sweep configurations across all jobs (0 = default 4)")
 		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished job results (0 = default 15m)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request logging")
 	)
 	flag.Parse()
@@ -127,6 +133,19 @@ func main() {
 			started := time.Now()
 			<-done
 			log.Printf("warm sweep %v over %d graphs done in %s", ps, reg.Len(), time.Since(started).Round(time.Millisecond))
+		}()
+	}
+
+	if *pprofAddr != "" {
+		// The profiling endpoints live on their own listener (and the
+		// DefaultServeMux the pprof import registers on), never on the
+		// serving mux: keep them bindable to localhost while the API faces
+		// traffic.
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("d2pr-server: pprof: %v", err)
+			}
 		}()
 	}
 

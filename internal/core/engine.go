@@ -1,0 +1,447 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"d2pr/internal/graph"
+)
+
+// Engine is the per-graph solver substrate: the pull-oriented transpose of
+// the graph (offsets, sources, dangling set), the permutation mapping each
+// forward-CSR arc to its pull position, and the per-node 1/outdeg table that
+// lets uniform (p = 0) transitions run with no per-arc probability array at
+// all. Building it costs one counting-sort transpose — the O(m) work the
+// seed solver repeated on every Solve; an Engine pays it once and every
+// subsequent solve over the same graph only fills (or skips) a probability
+// buffer.
+//
+// The engine also owns the solve-time scratch: score/next/teleport/probability
+// buffers are recycled through sync.Pools, so a warm solve allocates nothing
+// proportional to the graph beyond the returned score vector, and the
+// parallel sweep runs on a process-wide pool of persistent workers instead of
+// spawning goroutines every iteration.
+//
+// An Engine is immutable after construction and safe for concurrent use.
+type Engine struct {
+	g *graph.Graph
+	n int
+
+	// Pull topology: arcs into v are flow positions offsets[v]..offsets[v+1],
+	// sources[pos] is the origin node, and perm[k] is the flow position of
+	// forward-CSR arc k (so transition probabilities scatter in one pass).
+	offsets  []int64
+	sources  []int32
+	dangling []int32
+	perm     []int64
+
+	// invOut[u] = 1/outdeg(u) (0 for dangling nodes): the implicit uniform
+	// transition. invOut[u] == 0 also doubles as the dangling test.
+	invOut []float64
+
+	nbuf sync.Pool // *[]float64 of length n (scores, teleport, scaled)
+	mbuf sync.Pool // *[]float64 of length NumArcs (flow-ordered probabilities)
+}
+
+// NewEngine builds the pull topology for g. Prefer EngineFor, which caches
+// engines per graph; NewEngine exists for callers that manage the lifetime
+// themselves.
+func NewEngine(g *graph.Graph) *Engine {
+	n := g.NumNodes()
+	e := &Engine{
+		g:       g,
+		n:       n,
+		offsets: make([]int64, n+1),
+		sources: make([]int32, g.NumArcs()),
+		perm:    make([]int64, g.NumArcs()),
+		invOut:  make([]float64, n),
+	}
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := g.ArcRange(u)
+		if lo == hi {
+			e.dangling = append(e.dangling, u)
+			continue
+		}
+		e.invOut[u] = 1 / float64(hi-lo)
+		for k := lo; k < hi; k++ {
+			e.offsets[g.ArcTarget(k)+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		e.offsets[v+1] += e.offsets[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, e.offsets[:n])
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := g.ArcRange(u)
+		for k := lo; k < hi; k++ {
+			v := g.ArcTarget(k)
+			pos := cursor[v]
+			cursor[v]++
+			e.sources[pos] = u
+			e.perm[k] = pos
+		}
+	}
+	return e
+}
+
+// Graph returns the graph the engine was built for.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// engineCacheCap bounds the process-wide engine cache. Serving deployments
+// keep engines alive through registry snapshots anyway; the global cache
+// covers library callers (Solve, SolveGaussSeidel, NewSweepSolver) without
+// pinning every graph a test run ever builds.
+const engineCacheCap = 16
+
+var (
+	engineMu    sync.Mutex
+	engineCache []*Engine // most-recently-used first
+)
+
+// EngineFor returns the cached engine for g, building one on first use.
+// Identity is pointer identity on the graph — graphs are immutable, so one
+// *graph.Graph has one topology. The cache keeps the engineCacheCap
+// most-recently-used engines; long-lived callers that must never rebuild
+// should hold the returned *Engine (the registry's snapshots do).
+func EngineFor(g *graph.Graph) *Engine {
+	engineMu.Lock()
+	for i, e := range engineCache {
+		if e.g == g {
+			copy(engineCache[1:i+1], engineCache[:i])
+			engineCache[0] = e
+			engineMu.Unlock()
+			return e
+		}
+	}
+	engineMu.Unlock()
+	// Build outside the lock: the transpose is O(m) and must not serialize
+	// unrelated solves. Two racing builders may both build; one wins the
+	// cache slot and the loser's engine still works.
+	e := NewEngine(g)
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	for i, cached := range engineCache {
+		if cached.g == g {
+			copy(engineCache[1:i+1], engineCache[:i])
+			engineCache[0] = cached
+			return cached
+		}
+	}
+	engineCache = append(engineCache, nil)
+	copy(engineCache[1:], engineCache)
+	engineCache[0] = e
+	if len(engineCache) > engineCacheCap {
+		engineCache[engineCacheCap] = nil // release the evicted engine
+		engineCache = engineCache[:engineCacheCap]
+	}
+	return e
+}
+
+// Solve runs power iteration for t over the cached topology. t must be a
+// transition over the engine's graph. Uniform transitions take the implicit
+// 1/outdeg path: no per-arc probability array is read, written, or allocated.
+func (e *Engine) Solve(t *Transition, opts Options) (*Result, error) {
+	if t.g != e.g {
+		return nil, fmt.Errorf("core: transition over %v does not match engine graph %v", t.g, e.g)
+	}
+	if e.n == 0 {
+		return nil, ErrEmptyGraph
+	}
+	opts, err := opts.withDefaults(e.n)
+	if err != nil {
+		return nil, err
+	}
+	if t.uniform {
+		return e.power(nil, opts, true)
+	}
+	pp := e.getM()
+	probs := *pp
+	src := t.arcProbs()
+	for k, pos := range e.perm {
+		probs[pos] = src[k]
+	}
+	res, err := e.power(probs, opts, true)
+	e.putM(pp)
+	return res, err
+}
+
+// getN returns a pooled length-n buffer (contents unspecified).
+func (e *Engine) getN() *[]float64 {
+	if p, ok := e.nbuf.Get().(*[]float64); ok {
+		return p
+	}
+	s := make([]float64, e.n)
+	return &s
+}
+
+func (e *Engine) putN(p *[]float64) { e.nbuf.Put(p) }
+
+// getM returns a pooled length-NumArcs buffer (contents unspecified).
+func (e *Engine) getM() *[]float64 {
+	if p, ok := e.mbuf.Get().(*[]float64); ok {
+		return p
+	}
+	s := make([]float64, len(e.sources))
+	return &s
+}
+
+func (e *Engine) putM(p *[]float64) { e.mbuf.Put(p) }
+
+// power is the power-iteration core. probs holds the transition in flow
+// order, or nil for the implicit uniform transition. opts must already have
+// defaults applied. arcBalanced selects the parallel partitioning strategy
+// (the node-balanced split is kept only as the benchmark baseline).
+func (e *Engine) power(probs []float64, opts Options, arcBalanced bool) (*Result, error) {
+	n := e.n
+	telep := e.getN()
+	tele := *telep
+	opts.teleportInto(tele)
+
+	cur := make([]float64, n) // escapes as Result.Scores; everything else is pooled
+	copy(cur, tele)
+	nextp := e.getN()
+	next := *nextp
+
+	var scaled []float64
+	var scaledp *[]float64
+	if probs == nil {
+		scaledp = e.getN()
+		scaled = *scaledp
+	}
+
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	var st *sweepState
+	if workers > 1 {
+		var bounds []int32
+		if arcBalanced {
+			bounds = e.partitionArcs(workers)
+		} else {
+			bounds = partitionNodes(n, workers)
+		}
+		st = &sweepState{e: e, probs: probs, tele: tele, scaled: scaled, bounds: bounds}
+	}
+
+	res := &Result{}
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Mass on dangling nodes flows back through the teleport
+		// distribution, keeping the chain stochastic.
+		var dangling float64
+		for _, d := range e.dangling {
+			dangling += cur[d]
+		}
+		base := opts.Alpha * dangling // multiplied by tele[v] per node
+
+		if probs == nil {
+			// Implicit uniform transition: pre-scale once per iteration so
+			// the sweep reads one float per arc instead of two.
+			inv := e.invOut
+			for u := 0; u < n; u++ {
+				scaled[u] = cur[u] * inv[u]
+			}
+		}
+		if st != nil {
+			st.cur, st.next = cur, next
+			st.alpha, st.base = opts.Alpha, base
+			st.run()
+		} else {
+			e.sweepRange(probs, cur, scaled, next, tele, opts.Alpha, base, 0, n)
+		}
+
+		var diff float64
+		for v := 0; v < n; v++ {
+			diff += math.Abs(next[v] - cur[v])
+		}
+		cur, next = next, cur
+		res.Iterations = iter
+		res.Residual = diff
+		if diff < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	// Exact renormalization guards against drift over hundreds of
+	// iterations.
+	var sum float64
+	for _, v := range cur {
+		sum += v
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range cur {
+			cur[i] *= inv
+		}
+	}
+	res.Scores = cur
+	// cur/next may have swapped an odd number of times; whichever length-n
+	// buffer did not become the result goes back to the pool.
+	*nextp = next
+	e.putN(nextp)
+	e.putN(telep)
+	if scaledp != nil {
+		*scaledp = scaled
+		e.putN(scaledp)
+	}
+	return res, nil
+}
+
+// sweepRange performs one pull sweep over destinations [lo, hi). With
+// probs == nil the transition is the implicit uniform one and scaled must
+// hold cur[u]/outdeg(u).
+func (e *Engine) sweepRange(probs, cur, scaled, next, tele []float64, alpha, base float64, lo, hi int) {
+	offsets, sources := e.offsets, e.sources
+	if probs == nil {
+		for v := lo; v < hi; v++ {
+			alo, ahi := offsets[v], offsets[v+1]
+			var acc float64
+			for k := alo; k < ahi; k++ {
+				acc += scaled[sources[k]]
+			}
+			next[v] = alpha*acc + (base+1-alpha)*tele[v]
+		}
+		return
+	}
+	for v := lo; v < hi; v++ {
+		alo, ahi := offsets[v], offsets[v+1]
+		var acc float64
+		for k := alo; k < ahi; k++ {
+			acc += probs[k] * cur[sources[k]]
+		}
+		next[v] = alpha*acc + (base+1-alpha)*tele[v]
+	}
+}
+
+// partitionNodes splits [0, n) into ~equal node-count segments — the seed
+// strategy, kept as the benchmark baseline for the arc-balanced split.
+func partitionNodes(n, workers int) []int32 {
+	bounds := make([]int32, workers+1)
+	chunk := (n + workers - 1) / workers
+	for w := 1; w < workers; w++ {
+		b := w * chunk
+		if b > n {
+			b = n
+		}
+		bounds[w] = int32(b)
+	}
+	bounds[workers] = int32(n)
+	return bounds
+}
+
+// partitionArcs splits the destination range so every segment owns roughly
+// the same number of in-arcs (each node also counts 1, so arc-free stretches
+// still spread). On hub-heavy power-law graphs this is what keeps one worker
+// from drawing all the hub rows and becoming the straggler. Segments may be
+// empty when a single node owns more than a worker's share of arcs.
+func (e *Engine) partitionArcs(workers int) []int32 {
+	bounds := make([]int32, workers+1)
+	bounds[workers] = int32(e.n)
+	total := e.offsets[e.n] + int64(e.n)
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		v := sort.Search(e.n, func(v int) bool {
+			return e.offsets[v]+int64(v) >= target
+		})
+		bounds[w] = int32(v)
+	}
+	return bounds
+}
+
+// sweepState carries one parallel sweep's inputs to the worker pool. One
+// sweepState lives for a whole solve; only the cur/next pair and the
+// dangling base change between iterations.
+type sweepState struct {
+	e                       *Engine
+	probs                   []float64
+	cur, next, tele, scaled []float64
+	alpha, base             float64
+	bounds                  []int32
+	wg                      sync.WaitGroup
+}
+
+// run executes one sweep: segments 1..k-1 go to the persistent pool, segment
+// 0 runs on the calling goroutine (one fewer handoff, and the caller would
+// only block in Wait anyway).
+func (st *sweepState) run() {
+	segs := len(st.bounds) - 1
+	st.wg.Add(segs)
+	for seg := 1; seg < segs; seg++ {
+		sweepPool.submit(poolTask{st: st, seg: seg})
+	}
+	st.runSegment(0)
+	st.wg.Wait()
+}
+
+func (st *sweepState) runSegment(seg int) {
+	st.e.sweepRange(st.probs, st.cur, st.scaled, st.next, st.tele,
+		st.alpha, st.base, int(st.bounds[seg]), int(st.bounds[seg+1]))
+	st.wg.Done()
+}
+
+// poolTask is one segment of one sweep. Plain value: submitting allocates
+// nothing.
+type poolTask struct {
+	st  *sweepState
+	seg int
+}
+
+// workerPool runs sweep segments on persistent goroutines. Workers are
+// spawned on demand up to the pool's cap and exit after workerIdleTimeout
+// without a task, so an idle process keeps no goroutines and a server under
+// load keeps them hot across iterations, solves, and requests.
+type workerPool struct {
+	tasks chan poolTask // unbuffered: a send succeeds only into a waiting worker
+	sem   chan struct{} // counts live workers
+}
+
+const workerIdleTimeout = 30 * time.Second
+
+// sweepPool is the process-wide pool shared by every engine. Its cap bounds
+// total sweep parallelism across concurrent solves; segment 0 of each sweep
+// runs on the submitting goroutine, so a single solve still uses
+// opts.Workers cores when the pool is otherwise idle.
+var sweepPool = newWorkerPool(64)
+
+func newWorkerPool(maxWorkers int) *workerPool {
+	return &workerPool{
+		tasks: make(chan poolTask),
+		sem:   make(chan struct{}, maxWorkers),
+	}
+}
+
+func (p *workerPool) submit(t poolTask) {
+	select {
+	case p.tasks <- t: // an idle worker is waiting
+		return
+	default:
+	}
+	select {
+	case p.tasks <- t:
+	case p.sem <- struct{}{}:
+		go p.worker(t)
+	}
+}
+
+func (p *workerPool) worker(t poolTask) {
+	t.st.runSegment(t.seg)
+	idle := time.NewTimer(workerIdleTimeout)
+	defer idle.Stop()
+	for {
+		select {
+		case t := <-p.tasks:
+			if !idle.Stop() {
+				<-idle.C
+			}
+			t.st.runSegment(t.seg)
+			idle.Reset(workerIdleTimeout)
+		case <-idle.C:
+			<-p.sem
+			return
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"d2pr/internal/graph"
+)
+
+// The BenchmarkCore* benches feed scripts/bench.sh → BENCH_core.json: the
+// perf trajectory of the solver hot path across PRs. They run on a skewed
+// synthetic power-law graph (hub in-degree concentrated on low ids — the
+// paper's citation/affiliation shape) where the engine's wins are largest:
+//
+//   - CoreSolveCold vs CoreSolveWarm: the cost of re-transposing the graph
+//     on every solve (the seed behavior) vs reusing the cached engine.
+//   - CoreSolveWarmUniform: the implicit 1/outdeg path — no per-arc
+//     probability array is built, scattered, or read.
+//   - CoreSweepNodeBalanced vs CoreSweepArcBalanced: straggler cost of
+//     splitting the parallel sweep by node count when one worker draws all
+//     the hub rows, vs splitting by arc prefix-sums.
+
+const (
+	benchNodes  = 30000
+	benchAvgDeg = 8
+)
+
+var benchG *graph.Graph
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	if benchG == nil {
+		benchG = powerLawGraph(b, benchNodes, benchAvgDeg, 42)
+	}
+	return benchG
+}
+
+// benchOpts pins the iteration count so every variant does identical work.
+var benchOpts = Options{Alpha: DefaultAlpha, MaxIter: 20, Tol: 1e-300}
+
+// BenchmarkCoreSolveCold measures the seed behavior: every solve rebuilds
+// the pull topology (transpose + permutation) before iterating.
+func BenchmarkCoreSolveCold(b *testing.B) {
+	g := benchGraph(b)
+	tr := DegreeDecoupled(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEngine(g).Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumArcs()), "arcs")
+}
+
+// BenchmarkCoreSolveWarm measures the cached-engine path: the transpose is
+// reused, each solve only scatters transition probabilities and iterates.
+func BenchmarkCoreSolveWarm(b *testing.B) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := DegreeDecoupled(g, 1)
+	if _, err := e.Solve(tr, benchOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreSolveWarmUniform measures the implicit uniform (p = 0)
+// transition: no per-arc probabilities exist anywhere on the path.
+func BenchmarkCoreSolveWarmUniform(b *testing.B) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := Uniform(g)
+	if _, err := e.Solve(tr, benchOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSweep runs the fixed-iteration power core with the given worker count
+// and partitioning strategy over a pre-scattered probability buffer. Besides
+// wall time (which only separates the strategies on multi-core hosts), it
+// reports "imbalance": the heaviest segment's arc load as a multiple of the
+// ideal per-worker share — the straggler factor, 1.0 being perfect. The
+// metric is deterministic, so BENCH_core.json records the partition quality
+// even when the bench host is single-core.
+func benchSweep(b *testing.B, workers int, arcBalanced bool) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := DegreeDecoupled(g, 1)
+	probs := make([]float64, g.NumArcs())
+	src := tr.arcProbs()
+	for k, pos := range e.perm {
+		probs[pos] = src[k]
+	}
+	opts := benchOpts
+	opts.Workers = workers
+
+	bounds := partitionNodes(e.n, workers)
+	if arcBalanced {
+		bounds = e.partitionArcs(workers)
+	}
+	var maxSeg int64
+	for w := 0; w < workers; w++ {
+		if arcs := e.offsets[bounds[w+1]] - e.offsets[bounds[w]]; arcs > maxSeg {
+			maxSeg = arcs
+		}
+	}
+
+	if _, err := e.power(probs, opts, arcBalanced); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.power(probs, opts, arcBalanced); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// After the loop: ResetTimer deletes user metrics reported before it.
+	b.ReportMetric(float64(maxSeg)*float64(workers)/float64(g.NumArcs()), "imbalance")
+}
+
+func BenchmarkCoreSweepNodeBalanced4(b *testing.B) { benchSweep(b, 4, false) }
+func BenchmarkCoreSweepArcBalanced4(b *testing.B)  { benchSweep(b, 4, true) }
+func BenchmarkCoreSweepNodeBalanced8(b *testing.B) { benchSweep(b, 8, false) }
+func BenchmarkCoreSweepArcBalanced8(b *testing.B)  { benchSweep(b, 8, true) }
+
+// BenchmarkCoreSweepSequential anchors the parallel numbers.
+func BenchmarkCoreSweepSequential(b *testing.B) { benchSweep(b, 1, true) }

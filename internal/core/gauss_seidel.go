@@ -12,6 +12,11 @@ import "math"
 // `BenchmarkAblationGaussSeidel` measures both. It exists as the ablation
 // partner for the solver choice, not as a default.
 //
+// The pull topology comes from the per-graph engine cache, the same one
+// Solve and SweepSolver use, so alternating between solvers on one graph
+// never re-transposes it; uniform transitions run off the cached 1/outdeg
+// table with no per-arc probabilities.
+//
 // The method is inherently sequential, so Options.Workers is ignored.
 // Dangling-node handling and the teleport distribution match Solve exactly;
 // both solvers converge to the same vector (within tolerance), which
@@ -25,32 +30,61 @@ func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := newFlow(t)
-	tele := opts.teleportDist(n)
+	e := EngineFor(t.g)
 
-	x := make([]float64, n)
-	copy(x, tele)
-	res := &Result{}
-	isDangling := make([]bool, n)
-	for _, d := range f.dangling {
-		isDangling[d] = true
+	var probs []float64
+	var probsp *[]float64
+	if !t.uniform {
+		probsp = e.getM()
+		probs = *probsp
+		src := t.arcProbs()
+		for k, pos := range e.perm {
+			probs[pos] = src[k]
+		}
 	}
+	telep := e.getN()
+	tele := *telep
+	opts.teleportInto(tele)
+
+	x := make([]float64, n) // escapes as Result.Scores
+	copy(x, tele)
+	// For the implicit uniform transition, scaled mirrors x[u]/outdeg(u)
+	// and is refreshed on every write to x.
+	var scaled []float64
+	var scaledp *[]float64
+	if probs == nil {
+		scaledp = e.getN()
+		scaled = *scaledp
+		for u := 0; u < n; u++ {
+			scaled[u] = x[u] * e.invOut[u]
+		}
+	}
+
+	res := &Result{}
 	// Track the dangling mass incrementally: recomputing it per node would
-	// be O(n·|dangling|).
+	// be O(n·|dangling|). invOut[v] == 0 identifies dangling nodes.
 	var danglingMass float64
-	for _, d := range f.dangling {
+	for _, d := range e.dangling {
 		danglingMass += x[d]
 	}
 	update := func(v int) float64 {
-		lo, hi := f.offsets[v], f.offsets[v+1]
+		lo, hi := e.offsets[v], e.offsets[v+1]
 		var acc float64
-		for k := lo; k < hi; k++ {
-			acc += f.probs[k] * x[f.sources[k]]
+		if probs == nil {
+			for k := lo; k < hi; k++ {
+				acc += scaled[e.sources[k]]
+			}
+		} else {
+			for k := lo; k < hi; k++ {
+				acc += probs[k] * x[e.sources[k]]
+			}
 		}
 		nv := opts.Alpha*acc + (opts.Alpha*danglingMass+1-opts.Alpha)*tele[v]
 		d := nv - x[v]
-		if isDangling[v] {
+		if e.invOut[v] == 0 {
 			danglingMass += d
+		} else if probs == nil {
+			scaled[v] = nv * e.invOut[v]
 		}
 		x[v] = nv
 		return math.Abs(d)
@@ -90,5 +124,12 @@ func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
 		}
 	}
 	res.Scores = x
+	e.putN(telep)
+	if scaledp != nil {
+		e.putN(scaledp)
+	}
+	if probsp != nil {
+		e.putM(probsp)
+	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"d2pr/internal/dataset/rng"
+	"d2pr/internal/graph"
 )
 
 // HittingTimeOptions configures Monte-Carlo hitting-time estimation.
@@ -48,6 +49,7 @@ func HittingTime(t *Transition, source int32, opts HittingTimeOptions) ([]float6
 		return nil, fmt.Errorf("core: invalid hitting-time options %+v", opts)
 	}
 	r := rng.New(opts.Seed)
+	probs := t.arcProbs()
 	totals := make([]float64, n)
 	firstHit := make([]int32, n)
 	for w := 0; w < opts.Walks; w++ {
@@ -57,7 +59,7 @@ func HittingTime(t *Transition, source int32, opts HittingTimeOptions) ([]float6
 		firstHit[source] = 0
 		u := source
 		for step := 1; step <= opts.MaxLen; step++ {
-			v, ok := stepFrom(t, u, r)
+			v, ok := stepFrom(g, probs, u, r)
 			if !ok {
 				// Dangling: restart at source, step count keeps running so
 				// truncation still bounds the walk.
@@ -84,8 +86,9 @@ func HittingTime(t *Transition, source int32, opts HittingTimeOptions) ([]float6
 }
 
 // stepFrom samples one transition out of u; ok is false for dangling nodes.
-func stepFrom(t *Transition, u int32, r *rng.RNG) (int32, bool) {
-	g := t.g
+// probs is t's per-arc probability slice, hoisted by the caller so the
+// per-step hot path does no lazy-materialization check.
+func stepFrom(g *graph.Graph, probs []float64, u int32, r *rng.RNG) (int32, bool) {
 	lo, hi := g.ArcRange(u)
 	if lo == hi {
 		return 0, false
@@ -93,7 +96,7 @@ func stepFrom(t *Transition, u int32, r *rng.RNG) (int32, bool) {
 	x := r.Float64()
 	var acc float64
 	for k := lo; k < hi; k++ {
-		acc += t.probs[k]
+		acc += probs[k]
 		if x < acc {
 			return g.ArcTarget(k), true
 		}
@@ -118,6 +121,7 @@ func MonteCarloPageRank(t *Transition, alpha float64, walks int, seed uint64) ([
 		walks = 100 * n
 	}
 	r := rng.New(seed)
+	probs := t.arcProbs()
 	visits := make([]float64, n)
 	var total float64
 	for w := 0; w < walks; w++ {
@@ -128,7 +132,7 @@ func MonteCarloPageRank(t *Transition, alpha float64, walks int, seed uint64) ([
 			if r.Float64() >= alpha {
 				break
 			}
-			v, ok := stepFrom(t, u, r)
+			v, ok := stepFrom(g, probs, u, r)
 			if !ok {
 				break // dangling: walk teleports (ends)
 			}

@@ -92,15 +92,15 @@ func (o Options) withDefaults(n int) (Options, error) {
 	return o, nil
 }
 
-// teleportDist materializes the normalized teleport distribution.
-func (o Options) teleportDist(n int) []float64 {
-	t := make([]float64, n)
+// teleportInto writes the normalized teleport distribution into t (length n,
+// caller-provided so the solver can recycle the buffer).
+func (o Options) teleportInto(t []float64) {
 	if o.Teleport == nil {
-		u := 1 / float64(n)
+		u := 1 / float64(len(t))
 		for i := range t {
 			t[i] = u
 		}
-		return t
+		return
 	}
 	var s float64
 	for _, v := range o.Teleport {
@@ -109,7 +109,6 @@ func (o Options) teleportDist(n int) []float64 {
 	for i, v := range o.Teleport {
 		t[i] = v / s
 	}
-	return t
 }
 
 // Result reports the outcome of a power-iteration solve.

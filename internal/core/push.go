@@ -62,6 +62,7 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 	p := make([]float64, n)
 	r := make([]float64, n)
 	r[seed] = 1
+	probs := t.arcProbs()
 
 	// Work queue of nodes whose residual exceeds the threshold.
 	queue := make([]int32, 0, 64)
@@ -104,7 +105,7 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 		}
 		for k := lo; k < hi; k++ {
 			v := g.ArcTarget(k)
-			r[v] += opts.Alpha * ru * t.probs[k]
+			r[v] += opts.Alpha * ru * probs[k]
 			if r[v] >= threshold(v) {
 				push(v)
 			}

@@ -1,167 +1,17 @@
 package core
 
-import (
-	"math"
-	"sync"
-)
-
-// flow is the pull-oriented view of a Transition: for every destination node
-// v it stores the incoming (source, probability) pairs. Pull iteration lets
-// the solver parallelize over destinations with no write contention.
-type flow struct {
-	n        int
-	offsets  []int64
-	sources  []int32
-	probs    []float64
-	dangling []int32
-}
-
-// newFlow transposes a transition into pull form and records the dangling
-// nodes (no out-arcs) whose mass must be redistributed.
-func newFlow(t *Transition) *flow {
-	g := t.g
-	n := g.NumNodes()
-	f := &flow{
-		n:       n,
-		offsets: make([]int64, n+1),
-		sources: make([]int32, g.NumArcs()),
-		probs:   make([]float64, g.NumArcs()),
-	}
-	for u := int32(0); int(u) < n; u++ {
-		lo, hi := g.ArcRange(u)
-		if lo == hi {
-			f.dangling = append(f.dangling, u)
-			continue
-		}
-		for k := lo; k < hi; k++ {
-			f.offsets[g.ArcTarget(k)+1]++
-		}
-	}
-	for v := 0; v < n; v++ {
-		f.offsets[v+1] += f.offsets[v]
-	}
-	cursor := make([]int64, n)
-	copy(cursor, f.offsets[:n])
-	for u := int32(0); int(u) < n; u++ {
-		lo, hi := g.ArcRange(u)
-		for k := lo; k < hi; k++ {
-			v := g.ArcTarget(k)
-			pos := cursor[v]
-			cursor[v]++
-			f.sources[pos] = u
-			f.probs[pos] = t.probs[k]
-		}
-	}
-	return f
-}
-
 // Solve runs power iteration on the transition until the L1 residual drops
 // below opts.Tol or opts.MaxIter iterations elapse. The returned score
 // vector sums to 1 (up to floating-point rounding).
+//
+// The pull topology (transpose, dangling set, arc permutation) comes from
+// the per-graph engine cache (see EngineFor): the first solve over a graph
+// pays the O(m) transpose, repeat solves only scatter transition
+// probabilities — and uniform transitions skip even that, running entirely
+// off the cached 1/outdeg table.
 func Solve(t *Transition, opts Options) (*Result, error) {
-	n := t.g.NumNodes()
-	if n == 0 {
+	if t.g.NumNodes() == 0 {
 		return nil, ErrEmptyGraph
 	}
-	opts, err := opts.withDefaults(n)
-	if err != nil {
-		return nil, err
-	}
-	return runPower(newFlow(t), opts)
-}
-
-// runPower is the power-iteration core shared by Solve and SweepSolver.
-// opts must already have defaults applied and be validated for f.n nodes.
-func runPower(f *flow, opts Options) (*Result, error) {
-	n := f.n
-	tele := opts.teleportDist(n)
-
-	cur := make([]float64, n)
-	copy(cur, tele) // start from the teleport distribution
-	next := make([]float64, n)
-
-	res := &Result{}
-	for iter := 1; iter <= opts.MaxIter; iter++ {
-		// Mass on dangling nodes flows back through the teleport
-		// distribution, keeping the chain stochastic.
-		var dangling float64
-		for _, d := range f.dangling {
-			dangling += cur[d]
-		}
-		base := opts.Alpha * dangling // multiplied by tele[v] per node
-
-		if opts.Workers > 1 {
-			parallelSweep(f, cur, next, tele, opts.Alpha, base, opts.Workers)
-		} else {
-			for v := 0; v < n; v++ {
-				lo, hi := f.offsets[v], f.offsets[v+1]
-				var acc float64
-				for k := lo; k < hi; k++ {
-					acc += f.probs[k] * cur[f.sources[k]]
-				}
-				next[v] = opts.Alpha*acc + (base+1-opts.Alpha)*tele[v]
-			}
-		}
-
-		var diff float64
-		for v := 0; v < n; v++ {
-			diff += math.Abs(next[v] - cur[v])
-		}
-		cur, next = next, cur
-		res.Iterations = iter
-		res.Residual = diff
-		if diff < opts.Tol {
-			res.Converged = true
-			break
-		}
-	}
-	// Exact renormalization guards against drift over hundreds of
-	// iterations.
-	var sum float64
-	for _, v := range cur {
-		sum += v
-	}
-	if sum > 0 {
-		inv := 1 / sum
-		for i := range cur {
-			cur[i] *= inv
-		}
-	}
-	res.Scores = cur
-	return res, nil
-}
-
-// parallelSweep performs one pull iteration with the destination range
-// partitioned across workers. Each worker writes a disjoint slice of next,
-// so no synchronization beyond the final WaitGroup is needed.
-func parallelSweep(f *flow, cur, next, tele []float64, alpha, base float64, workers int) {
-	n := f.n
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				alo, ahi := f.offsets[v], f.offsets[v+1]
-				var acc float64
-				for k := alo; k < ahi; k++ {
-					acc += f.probs[k] * cur[f.sources[k]]
-				}
-				next[v] = alpha*acc + (base+1-alpha)*tele[v]
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	return EngineFor(t.g).Solve(t, opts)
 }

@@ -9,90 +9,58 @@ import (
 
 // SweepSolver amortizes the p-independent work of ranking one graph under
 // many D2PR configurations — the workload of a parameter sweep (many
-// de-coupling weights p and blend weights β on one graph). Three pieces are
-// built once and shared, read-only, by every Solve call:
+// de-coupling weights p and blend weights β on one graph). The shared
+// read-only state is:
 //
+//   - the graph's Engine (pull transpose, CSR→flow arc permutation,
+//     1/outdeg table) from the per-graph engine cache,
 //   - the per-node log Θ̂ table (one WeightedDegree pass + n logs),
-//   - the connection-strength transition for β-blending,
-//   - the pull-transpose structure of the flow graph (offsets, sources,
-//     dangling set) plus the CSR→flow arc permutation, so each
-//     configuration scatters its probabilities in O(arcs) instead of
-//     repeating the counting-sort transpose.
+//   - the connection-strength transition for β-blending.
 //
 // Per configuration, the D2PR factors are evaluated as a per-node table
 // exp(-p·log Θ̂(v)) — n exponentials instead of one per arc, exploiting
 // that the per-source softmax shift of DegreeDecoupled cancels in the
 // normalization. Sources whose factor sum over- or underflows anyway fall
 // back to the shifted per-source evaluation, preserving DegreeDecoupled's
-// stability guarantee for extreme p. The resulting scores agree with
-// Blended + Solve to within a few ulps of floating-point reassociation —
-// far inside the solver tolerance — so cached sweep results are
-// interchangeable with interactive ones.
+// stability guarantee for extreme p. Uniform configurations (p = 0 with no
+// effective blend, or β = 1 on an unweighted graph) run on the engine's
+// implicit 1/outdeg path and touch no per-arc array at all. The resulting
+// scores agree with Blended + Solve to within a few ulps of floating-point
+// reassociation — far inside the solver tolerance — so cached sweep results
+// are interchangeable with interactive ones.
 //
 // A SweepSolver is immutable after construction and safe for concurrent
-// Solve calls; per-call state is allocated per call.
+// Solve calls; per-call buffers come from the engine's pools.
 type SweepSolver struct {
-	g        *graph.Graph
+	e        *Engine
 	logTheta []float64
-	conn     []float64 // connection-strength probs, CSR arc order
-
-	// Transpose template (see newFlow): offsets/sources/dangling are
-	// configuration-independent; perm maps CSR arc k to its flow position.
-	offsets  []int64
-	sources  []int32
-	dangling []int32
-	perm     []int64
+	conn     *Transition
 }
 
-// NewSweepSolver prepares the shared state for sweeping g.
+// NewSweepSolver prepares the shared state for sweeping g, using the cached
+// engine for the graph.
 func NewSweepSolver(g *graph.Graph) *SweepSolver {
-	n := g.NumNodes()
-	s := &SweepSolver{
-		g:        g,
-		logTheta: logThetaTable(g),
-		conn:     ConnectionStrength(g).probs,
-		offsets:  make([]int64, n+1),
-		sources:  make([]int32, g.NumArcs()),
-		perm:     make([]int64, g.NumArcs()),
+	return NewSweepSolverFor(EngineFor(g))
+}
+
+// NewSweepSolverFor prepares the shared state for sweeping the engine's
+// graph. Callers holding a long-lived Engine (the registry's snapshots)
+// use this to guarantee the sweep shares that exact topology.
+func NewSweepSolverFor(e *Engine) *SweepSolver {
+	return &SweepSolver{
+		e:        e,
+		logTheta: logThetaTable(e.g),
+		conn:     ConnectionStrength(e.g),
 	}
-	// Mirror newFlow's counting-sort transpose exactly so that scattering
-	// through perm reproduces the same flow layout (and therefore the same
-	// floating-point accumulation order) as a fresh newFlow would.
-	for u := int32(0); int(u) < n; u++ {
-		lo, hi := g.ArcRange(u)
-		if lo == hi {
-			s.dangling = append(s.dangling, u)
-			continue
-		}
-		for k := lo; k < hi; k++ {
-			s.offsets[g.ArcTarget(k)+1]++
-		}
-	}
-	for v := 0; v < n; v++ {
-		s.offsets[v+1] += s.offsets[v]
-	}
-	cursor := make([]int64, n)
-	copy(cursor, s.offsets[:n])
-	for u := int32(0); int(u) < n; u++ {
-		lo, hi := g.ArcRange(u)
-		for k := lo; k < hi; k++ {
-			v := g.ArcTarget(k)
-			pos := cursor[v]
-			cursor[v]++
-			s.sources[pos] = u
-			s.perm[k] = pos
-		}
-	}
-	return s
 }
 
 // Graph returns the graph the solver sweeps.
-func (s *SweepSolver) Graph() *graph.Graph { return s.g }
+func (s *SweepSolver) Graph() *graph.Graph { return s.e.g }
 
 // Solve ranks one (p, β) configuration, equivalent to
 // Solve(Blended(g, p, beta), opts) but reusing the shared sweep state.
 func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
-	n := s.g.NumNodes()
+	n := s.e.n
 	if n == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -103,22 +71,26 @@ func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	fprobs := make([]float64, s.g.NumArcs())
+	// Configurations that reduce to the uniform transition take the
+	// engine's implicit path — no per-arc probabilities are built. This
+	// mirrors Blended's own short-circuits so sweep scores stay
+	// interchangeable with the interactive pipeline.
+	if (p == 0 && (beta == 0 || s.conn.uniform)) || (beta == 1 && s.conn.uniform) {
+		return s.e.power(nil, opts, true)
+	}
+	pp := s.e.getM()
+	fprobs := *pp
 	if beta == 1 {
-		for k, pos := range s.perm {
-			fprobs[pos] = s.conn[k]
+		src := s.conn.arcProbs()
+		for k, pos := range s.e.perm {
+			fprobs[pos] = src[k]
 		}
 	} else {
 		s.decoupledFlowProbs(p, beta, fprobs)
 	}
-	f := &flow{
-		n:        n,
-		offsets:  s.offsets,
-		sources:  s.sources,
-		probs:    fprobs,
-		dangling: s.dangling,
-	}
-	return runPower(f, opts)
+	res, err := s.e.power(fprobs, opts, true)
+	s.e.putM(pp)
+	return res, err
 }
 
 // decoupledFlowProbs writes the (β-blended) D2PR transition directly in
@@ -128,9 +100,15 @@ func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
 // spreads) re-runs with the per-source shift, so the stability guarantee
 // is unchanged.
 func (s *SweepSolver) decoupledFlowProbs(p, beta float64, fprobs []float64) {
-	g := s.g
+	g := s.e.g
 	n := g.NumNodes()
-	factor := make([]float64, n)
+	perm := s.e.perm
+	var conn []float64
+	if beta > 0 {
+		conn = s.conn.arcProbs()
+	}
+	factorp := s.e.getN()
+	factor := *factorp
 	for v := range factor {
 		factor[v] = math.Exp(-p * s.logTheta[v])
 	}
@@ -149,11 +127,11 @@ func (s *SweepSolver) decoupledFlowProbs(p, beta float64, fprobs []float64) {
 		if inv := 1 / sum; sum > 0 && !math.IsInf(sum, 0) && !math.IsNaN(sum) && !math.IsInf(inv, 0) {
 			if beta == 0 {
 				for k := lo; k < hi; k++ {
-					fprobs[s.perm[k]] = factor[g.ArcTarget(k)] * inv
+					fprobs[perm[k]] = factor[g.ArcTarget(k)] * inv
 				}
 			} else {
 				for k := lo; k < hi; k++ {
-					fprobs[s.perm[k]] = beta*s.conn[k] + (1-beta)*factor[g.ArcTarget(k)]*inv
+					fprobs[perm[k]] = beta*conn[k] + (1-beta)*factor[g.ArcTarget(k)]*inv
 				}
 			}
 			continue
@@ -173,9 +151,10 @@ func (s *SweepSolver) decoupledFlowProbs(p, beta float64, fprobs []float64) {
 		for k := lo; k < hi; k++ {
 			w := math.Exp(-p*s.logTheta[g.ArcTarget(k)]-maxE) * inv
 			if beta > 0 {
-				w = beta*s.conn[k] + (1-beta)*w
+				w = beta*conn[k] + (1-beta)*w
 			}
-			fprobs[s.perm[k]] = w
+			fprobs[perm[k]] = w
 		}
 	}
+	s.e.putN(factorp)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"d2pr/internal/graph"
 )
@@ -12,28 +13,55 @@ import (
 // the probabilities of its out-arcs sum to 1; dangling nodes have no arcs and
 // their mass is handled by the solver (redistributed to the teleport
 // distribution).
+//
+// Uniform transitions (probability 1/outdeg everywhere) are represented
+// implicitly: the solver runs them off the engine's cached 1/outdeg table
+// and the per-arc array is only materialized if a caller actually reads
+// probabilities (Prob, ProbsFrom, the samplers).
 type Transition struct {
-	g     *graph.Graph
+	g       *graph.Graph
+	uniform bool
+
+	once  sync.Once // guards lazy materialization for uniform transitions
 	probs []float64
 }
 
 // Graph returns the graph the transition is defined over.
 func (t *Transition) Graph() *graph.Graph { return t.g }
 
+// arcProbs returns the per-arc probabilities, materializing the lazy uniform
+// representation on first use. Safe for concurrent callers.
+func (t *Transition) arcProbs() []float64 {
+	t.once.Do(func() {
+		if t.probs == nil {
+			t.probs = uniformProbs(t.g)
+		}
+	})
+	return t.probs
+}
+
 // Prob returns the transition probability attached to arc k.
-func (t *Transition) Prob(k int64) float64 { return t.probs[k] }
+func (t *Transition) Prob(k int64) float64 { return t.arcProbs()[k] }
 
 // ProbsFrom returns the probability slice parallel to g.Neighbors(u). The
 // returned slice aliases internal storage and must not be modified.
 func (t *Transition) ProbsFrom(u int32) []float64 {
+	probs := t.arcProbs()
 	lo, hi := t.g.ArcRange(u)
-	return t.probs[lo:hi]
+	return probs[lo:hi]
 }
 
 // Uniform builds the classic unweighted PageRank transition: from every node
 // each out-arc is taken with probability 1/outdeg, ignoring edge weights.
+// The per-arc array is lazy — solving a uniform transition through the
+// engine touches no O(arcs) probability storage at all.
 func Uniform(g *graph.Graph) *Transition {
-	t := &Transition{g: g, probs: make([]float64, g.NumArcs())}
+	return &Transition{g: g, uniform: true}
+}
+
+// uniformProbs materializes the 1/outdeg probabilities of Uniform.
+func uniformProbs(g *graph.Graph) []float64 {
+	probs := make([]float64, g.NumArcs())
 	n := g.NumNodes()
 	for u := int32(0); int(u) < n; u++ {
 		lo, hi := g.ArcRange(u)
@@ -42,10 +70,10 @@ func Uniform(g *graph.Graph) *Transition {
 		}
 		p := 1 / float64(hi-lo)
 		for k := lo; k < hi; k++ {
-			t.probs[k] = p
+			probs[k] = p
 		}
 	}
-	return t
+	return probs
 }
 
 // ConnectionStrength builds the conventional weighted PageRank transition
@@ -101,7 +129,13 @@ func ConnectionStrength(g *graph.Graph) *Transition {
 // as Θ = 1, the smallest degree a reachable node can meaningfully have; this
 // keeps the factor finite for every p and is a no-op on the paper's graphs,
 // which have no dangling targets.
+//
+// p = 0 returns the (implicit) Uniform transition: the factors are exactly
+// exp(0)/outdeg = 1/outdeg, so no per-arc array needs to exist.
 func DegreeDecoupled(g *graph.Graph, p float64) *Transition {
+	if p == 0 {
+		return Uniform(g)
+	}
 	t := &Transition{g: g, probs: make([]float64, g.NumArcs())}
 	decoupledProbs(g, p, logThetaTable(g), t.probs)
 	return t
@@ -159,7 +193,9 @@ func decoupledProbs(g *graph.Graph, p float64, logTheta, probs []float64) {
 //	T(j,i) = β·T_conn(j,i) + (1-β)·T_D(j,i)
 //
 // β = 1 is conventional weighted PageRank; β = 0 is full degree de-coupling.
-// β must lie in [0, 1].
+// β must lie in [0, 1]. The blend is computed in place into a single per-arc
+// buffer (the de-coupled half is staged there and the connection half folded
+// in), instead of materializing both source transitions plus the output.
 func Blended(g *graph.Graph, p, beta float64) (*Transition, error) {
 	if beta < 0 || beta > 1 || math.IsNaN(beta) {
 		return nil, fmt.Errorf("core: beta %v out of range [0, 1]", beta)
@@ -171,12 +207,60 @@ func Blended(g *graph.Graph, p, beta float64) (*Transition, error) {
 	if beta == 1 {
 		return conn, nil
 	}
-	dec := DegreeDecoupled(g, p)
-	out := &Transition{g: g, probs: make([]float64, g.NumArcs())}
-	for k := range out.probs {
-		out.probs[k] = beta*conn.probs[k] + (1-beta)*dec.probs[k]
+	if conn.uniform && p == 0 {
+		// Both halves are the uniform transition, so the blend is too; keep
+		// it implicit rather than blending a distribution with itself.
+		return conn, nil
 	}
-	return out, nil
+	t := &Transition{g: g, probs: make([]float64, g.NumArcs())}
+	blendedProbs(g, p, beta, logThetaTable(g), t.probs)
+	return t, nil
+}
+
+// blendedProbs writes β·T_conn + (1-β)·T_D directly into probs, one source
+// row at a time: the shifted-exponential de-coupled weights are staged in
+// the output row, then the connection-strength term is folded in. The
+// arithmetic per arc is identical to blending the separately-built
+// transitions, without the two extra per-arc arrays.
+func blendedProbs(g *graph.Graph, p, beta float64, logTheta, probs []float64) {
+	n := g.NumNodes()
+	weighted := g.Weighted()
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := g.ArcRange(u)
+		if hi == lo {
+			continue
+		}
+		// De-coupled half (see DegreeDecoupled): shifted exponentials so
+		// extreme p cannot over- or underflow.
+		maxE := math.Inf(-1)
+		for k := lo; k < hi; k++ {
+			if e := -p * logTheta[g.ArcTarget(k)]; e > maxE {
+				maxE = e
+			}
+		}
+		var dsum float64
+		for k := lo; k < hi; k++ {
+			w := math.Exp(-p*logTheta[g.ArcTarget(k)] - maxE)
+			probs[k] = w
+			dsum += w
+		}
+		dinv := 1 / dsum
+		// Connection half (see ConnectionStrength), folded in place.
+		uniP := 1 / float64(hi-lo)
+		var wsum float64
+		if weighted {
+			for k := lo; k < hi; k++ {
+				wsum += g.ArcWeight(k)
+			}
+		}
+		for k := lo; k < hi; k++ {
+			connP := uniP
+			if weighted && wsum > 0 {
+				connP = g.ArcWeight(k) / wsum
+			}
+			probs[k] = beta*connP + (1-beta)*(probs[k]*dinv)
+		}
+	}
 }
 
 // NaivePow builds the D2PR transition using direct math.Pow evaluation with
@@ -219,6 +303,7 @@ func NaivePow(g *graph.Graph, p float64) *Transition {
 // is finite and non-negative. Testing aid.
 func (t *Transition) Validate(tol float64) error {
 	n := t.g.NumNodes()
+	probs := t.arcProbs()
 	for u := int32(0); int(u) < n; u++ {
 		lo, hi := t.g.ArcRange(u)
 		if hi == lo {
@@ -226,7 +311,7 @@ func (t *Transition) Validate(tol float64) error {
 		}
 		var sum float64
 		for k := lo; k < hi; k++ {
-			p := t.probs[k]
+			p := probs[k]
 			if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
 				return fmt.Errorf("core: arc %d has invalid probability %v", k, p)
 			}

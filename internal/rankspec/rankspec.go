@@ -72,9 +72,13 @@ func (s Spec) Validate(numNodes int) error {
 }
 
 // Options returns the solver options for the spec (teleport built over n
-// nodes).
+// nodes). The serving compute path always parallelizes the edge sweep
+// (Workers = -1, i.e. GOMAXPROCS): results are identical to the sequential
+// sweep — each destination accumulates in the same order regardless of the
+// partition — so only wall-clock changes, and Options.CacheKey excludes
+// Workers, so cache identities are unaffected.
 func (s Spec) Options(n int) core.Options {
-	o := core.Options{Alpha: s.Alpha}
+	o := core.Options{Alpha: s.Alpha, Workers: -1}
 	if len(s.Seeds) > 0 {
 		tele := make([]float64, n)
 		for _, sd := range s.Seeds {
@@ -113,7 +117,9 @@ func (s Spec) CacheKey() rankcache.Key {
 	return rankcache.NewKey(s.Graph, s.Algo, p, beta, optsKey)
 }
 
-// Compute runs the configured algorithm on the snapshot's graph.
+// Compute runs the configured algorithm on the snapshot's graph. Power-
+// iteration algorithms run through the snapshot's cached engine, so a cache
+// miss re-solves but never re-transposes the graph.
 func (s Spec) Compute(snap *registry.Snapshot) ([]float64, error) {
 	g := snap.Graph
 	opts := s.Options(g.NumNodes())
@@ -123,13 +129,13 @@ func (s Spec) Compute(snap *registry.Snapshot) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Solve(t, opts)
+		res, err := snap.Engine().Solve(t, opts)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case AlgoPageRank:
-		res, err := core.PageRank(g, opts)
+		res, err := snap.Engine().Solve(core.ConnectionStrength(g), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,12 +174,14 @@ func NewComputer(snap *registry.Snapshot) *Computer {
 // Snapshot returns the snapshot the Computer evaluates over.
 func (c *Computer) Snapshot() *registry.Snapshot { return c.snap }
 
-// Compute evaluates one spec, routing d2pr through the shared sweep solver.
+// Compute evaluates one spec, routing d2pr through the shared sweep solver
+// (built over the snapshot's cached engine, so the sweep and every other
+// serving path share one pull topology).
 func (c *Computer) Compute(spec Spec) ([]float64, error) {
 	if spec.Algo != AlgoD2PR {
 		return spec.Compute(c.snap)
 	}
-	c.once.Do(func() { c.sweep = core.NewSweepSolver(c.snap.Graph) })
+	c.once.Do(func() { c.sweep = core.NewSweepSolverFor(c.snap.Engine()) })
 	res, err := c.sweep.Solve(spec.P, spec.Beta, spec.Options(c.snap.Graph.NumNodes()))
 	if err != nil {
 		return nil, err

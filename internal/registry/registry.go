@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"d2pr/internal/core"
 	"d2pr/internal/dataset"
 	"d2pr/internal/graph"
 )
@@ -38,6 +39,19 @@ type Snapshot struct {
 	Source       string // human-readable provenance, e.g. "file:web.tsv"
 	Graph        *graph.Graph
 	Significance []float64
+
+	engineOnce sync.Once
+	engine     *core.Engine
+}
+
+// Engine returns the solver engine for the snapshot's graph (cached pull
+// topology, worker pool, scratch buffers — see core.Engine), built lazily on
+// first use. The snapshot pins the engine for as long as it lives, so every
+// serving path over this graph — synchronous ranks, batch sweeps, background
+// jobs, cache warming — shares one topology and never re-transposes.
+func (s *Snapshot) Engine() *core.Engine {
+	s.engineOnce.Do(func() { s.engine = core.EngineFor(s.Graph) })
+	return s.engine
 }
 
 // entry is one registered graph; load runs at most once via once, and the

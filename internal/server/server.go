@@ -172,7 +172,9 @@ func (s *Server) Handler() http.Handler {
 // Warm precomputes d2pr scores for every registered graph at each
 // de-coupling weight in ps (β = beta, default solver options), loading
 // graphs as needed. It runs in the background with the given parallelism and
-// returns a channel that closes when the sweep completes.
+// returns a channel that closes when the sweep completes. Each compute goes
+// through the snapshot's cached engine, so warming also pre-builds the pull
+// topology later live requests reuse.
 func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct{} {
 	var warmJobs []rankcache.Job
 	for _, name := range s.reg.Names() {

@@ -1,58 +1,79 @@
 #!/usr/bin/env bash
-# bench.sh — serving-layer benchmark regression harness.
+# bench.sh — benchmark regression harness.
 #
-# Runs the serving benchmarks (cold solve, warm cache hit, 20-config
-# batch-vs-sequential sweep) and emits BENCH_serve.json so successive PRs
-# have a perf trajectory to compare against.
+# Runs two suites and emits one JSON file each, so successive PRs have a
+# perf trajectory to compare against:
+#
+#   BENCH_serve.json — serving layer (internal/server): cold solve, warm
+#                      cache hit, 20-config batch-vs-sequential sweep.
+#   BENCH_core.json  — solver engine (internal/core): cold (re-transpose)
+#                      vs warm (cached-engine) solve, implicit-uniform
+#                      solve, and node- vs arc-balanced parallel sweeps on
+#                      a skewed power-law graph.
 #
 # Usage:
 #   scripts/bench.sh                 # default: -benchtime 1s, -count 1
 #   BENCHTIME=5x COUNT=3 scripts/bench.sh
-#   OUT=/tmp/bench.json scripts/bench.sh
+#   OUTDIR=/tmp scripts/bench.sh
 #
-# The JSON shape:
+# The JSON shape (both files):
 #   {
 #     "generated_at": "2026-01-01T00:00:00Z",
 #     "go": "go1.24.x",
 #     "benchtime": "1s",
 #     "benchmarks": [
-#       {"name": "BenchmarkSweep20Batch", "iterations": 12,
-#        "ns_per_op": 61720138, "bytes_per_op": 123, "allocs_per_op": 45}
+#       {"name": "BenchmarkCoreSolveWarm", "iterations": 97,
+#        "ns_per_op": 11758747, "bytes_per_op": 245826, "allocs_per_op": 2,
+#        "imbalance": 1.126}
 #     ]
 #   }
+# ns/bytes/allocs come from -benchmem; any extra `value unit` pairs emitted
+# via b.ReportMetric (e.g. the sweep benches' "imbalance" straggler factor,
+# see internal/core/engine_bench_test.go) land as additional fields.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
-OUT="${OUT:-BENCH_serve.json}"
-PATTERN='BenchmarkRankRequest|BenchmarkSweep20'
+OUTDIR="${OUTDIR:-.}"
 
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+RAWS=()
+trap 'rm -f "${RAWS[@]}"' EXIT
 
-go test ./internal/server -run '^$' -bench "$PATTERN" -benchmem \
-  -benchtime "$BENCHTIME" -count "$COUNT" | tee "$raw"
+run_suite() {
+  local pkg="$1" pattern="$2" out="$3"
+  local raw
+  raw="$(mktemp)"
+  RAWS+=("$raw")
+  go test "$pkg" -run '^$' -bench "$pattern" -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" | tee "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v gover="$(go env GOVERSION)" \
-    -v benchtime="$BENCHTIME" '
-BEGIN {
-  printf "{\n  \"generated_at\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
-  sep = ""
-}
-/^Benchmark/ {
-  name = $1
-  sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
-  printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", sep, name, $2, $3
-  for (i = 4; i < NF; i++) {
-    if ($(i+1) == "B/op")     printf ", \"bytes_per_op\": %s", $i
-    if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+      -v gover="$(go env GOVERSION)" \
+      -v benchtime="$BENCHTIME" '
+  BEGIN {
+    printf "{\n  \"generated_at\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [", date, gover, benchtime
+    sep = ""
   }
-  printf "}"
-  sep = ","
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS suffix
+    printf "%s\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", sep, name, $2, $3
+    for (i = 4; i < NF; i++) {
+      unit = $(i+1)
+      if (unit == "B/op")           printf ", \"bytes_per_op\": %s", $i
+      else if (unit == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+      else if ($i ~ /^[0-9.eE+-]+$/ && unit ~ /^[A-Za-z_][A-Za-z0-9_]*$/) \
+                                    printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+    sep = ","
+  }
+  END { print "\n  ]\n}" }
+  ' "$raw" > "$out"
+  rm -f "$raw"
+  echo "wrote $out"
 }
-END { print "\n  ]\n}" }
-' "$raw" > "$OUT"
 
-echo "wrote $OUT"
+run_suite ./internal/server 'BenchmarkRankRequest|BenchmarkSweep20' "$OUTDIR/BENCH_serve.json"
+run_suite ./internal/core   'BenchmarkCore'                         "$OUTDIR/BENCH_core.json"
