@@ -15,9 +15,14 @@
 // graph in the background at startup.
 //
 // Endpoints: /healthz, /metrics, /v1/graphs, /v1/{graph}/info,
-// /v1/{graph}/rank, /v1/{graph}/rank/batch, /v1/{graph}/topk,
-// /v1/{graph}/node/{id}, /v1/{graph}/correlate, /v1/jobs[/{id}[/results]]
-// — see docs/server-api.md for the full contract.
+// /v1/{graph}/rank, /v1/{graph}/rank/batch, /v1/{graph}/ppr,
+// /v1/{graph}/ppr/batch, /v1/{graph}/topk, /v1/{graph}/node/{id},
+// /v1/{graph}/correlate, /v1/jobs[/{id}[/results]] — see docs/server-api.md
+// for the full contract.
+//
+// Personalized PageRank requests (/v1/{graph}/ppr) run forward push per
+// seed and cache the top-k per (seed, α, ε, k) in a dedicated sharded cache
+// sized by -ppr-cache-size; -ppr-eps sets the default push accuracy.
 //
 // Parameter sweeps run as asynchronous jobs on a worker pool sized by
 // -job-workers; finished job results are retained for -job-ttl.
@@ -67,6 +72,8 @@ func main() {
 		warm       = flag.String("warm", "", "background-warm d2pr at these de-coupling weights, e.g. p=0,0.5,1")
 		jobWorkers = flag.Int("job-workers", 0, "concurrent sweep configurations across all jobs (0 = default 4)")
 		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished job results (0 = default 15m)")
+		pprCache   = flag.Int("ppr-cache-size", 0, "max resident personalized top-k results (0 = default 4096)")
+		pprEps     = flag.Float64("ppr-eps", 0, "default forward-push residual threshold for /ppr (0 = default 1e-7)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request logging")
 	)
@@ -114,7 +121,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := server.Config{CacheSize: *cacheSize, JobWorkers: *jobWorkers, JobTTL: *jobTTL}
+	cfg := server.Config{
+		CacheSize:    *cacheSize,
+		JobWorkers:   *jobWorkers,
+		JobTTL:       *jobTTL,
+		PPRCacheSize: *pprCache,
+		PPREps:       *pprEps,
+	}
 	if !*quiet {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
 	}

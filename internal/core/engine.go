@@ -44,6 +44,16 @@ type Engine struct {
 
 	nbuf sync.Pool // *[]float64 of length n (scores, teleport, scaled)
 	mbuf sync.Pool // *[]float64 of length NumArcs (flow-ordered probabilities)
+
+	// pprbuf recycles *pprScratch (residuals, queue, membership bits) across
+	// SolvePPR calls; see push.go.
+	pprbuf sync.Pool
+
+	// connOnce/conn lazily cache the graph's connection-strength transition
+	// (= Uniform for unweighted graphs), so per-seed PPR requests never
+	// rebuild the O(arcs) probability array.
+	connOnce sync.Once
+	conn     *Transition
 }
 
 // NewEngine builds the pull topology for g. Prefer EngineFor, which caches
@@ -90,6 +100,15 @@ func NewEngine(g *graph.Graph) *Engine {
 
 // Graph returns the graph the engine was built for.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Connection returns the engine's cached connection-strength transition —
+// conventional (weighted) PageRank's transition, the one per-seed PPR serves.
+// For unweighted graphs it is the implicit Uniform transition and costs
+// nothing; for weighted graphs the per-arc array is built once per engine.
+func (e *Engine) Connection() *Transition {
+	e.connOnce.Do(func() { e.conn = ConnectionStrength(e.g) })
+	return e.conn
+}
 
 // engineCacheCap bounds the process-wide engine cache. Serving deployments
 // keep engines alive through registry snapshots anyway; the global cache

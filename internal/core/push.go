@@ -11,29 +11,82 @@ type ForwardPushOptions struct {
 	Alpha float64
 	// Epsilon is the per-node residual threshold: push terminates when every
 	// node's residual is below Epsilon·outdeg(node). Smaller is more
-	// accurate. 0 means 1e-7.
+	// accurate. 0 means DefaultPPREpsilon.
 	Epsilon float64
 	// MaxPushes caps the total number of push operations as a safety bound.
-	// 0 means 100·n/epsilon rounded into int range (effectively unbounded
-	// for sane inputs).
+	// 0 means effectively unbounded for sane inputs.
 	MaxPushes int
 }
 
-// ForwardPush computes an approximate personalized PageRank vector for a
-// single seed using the Andersen–Chung–Lang forward local push, generalized
-// to arbitrary transitions (so it works for D2PR transitions too — the
+// DefaultPPREpsilon is the per-node residual threshold used when
+// ForwardPushOptions.Epsilon is zero. It matches power iteration to ~1e-6
+// absolute error on the graphs in this module.
+const DefaultPPREpsilon = 1e-7
+
+// PPRResult reports the outcome of a forward-push personalized solve.
+type PPRResult struct {
+	// Scores is the PPR estimate p̂. It sums to ≤ 1; the deficit is the
+	// un-pushed residual mass.
+	Scores []float64
+	// ResidualMass is Σ_v r(v) at termination. The push invariant
+	// Σp̂ + Σr = 1 holds throughout the solve (each push moves (1-α)·r(u)
+	// into the estimate and α·r(u) back into the residual), so
+	// Scores-sum + ResidualMass = 1 up to floating-point rounding at every ε.
+	ResidualMass float64
+	// Pushes is the number of push operations performed.
+	Pushes int
+}
+
+// pprScratch is the recycled solve-time state of SolvePPR: the residual
+// vector, the work queue, and its membership bits. r and inQueue are returned
+// to the pool zeroed, so a pooled scratch is ready to use as-is.
+type pprScratch struct {
+	r       []float64
+	inQueue []bool
+	queue   []int32
+}
+
+func (e *Engine) getPPR() *pprScratch {
+	if s, ok := e.pprbuf.Get().(*pprScratch); ok {
+		return s
+	}
+	return &pprScratch{
+		r:       make([]float64, e.n),
+		inQueue: make([]bool, e.n),
+		queue:   make([]int32, 0, 64),
+	}
+}
+
+func (e *Engine) putPPR(s *pprScratch) {
+	clear(s.r)
+	clear(s.inQueue)
+	s.queue = s.queue[:0]
+	e.pprbuf.Put(s)
+}
+
+// SolvePPR computes an approximate personalized PageRank vector for a single
+// seed using the Andersen–Chung–Lang forward local push, generalized to
+// arbitrary transitions (so it works for D2PR transitions too — the
 // locality-sensitive computation style of the paper's reference [17]).
+// t must be a transition over the engine's graph.
 //
 // The estimate p̂ satisfies, for every node v,
 //
 //	|p(v) − p̂(v)| ≤ ε · Σ_u outdeg(u)·(reachability factors)
 //
 // in the classic analysis; practically, ε=1e-7 matches power iteration to
-// ~1e-6 absolute error on the graphs in this module. The returned vector
-// sums to ≤ 1; the deficit is the un-pushed residual mass.
-func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64, error) {
-	g := t.g
-	n := g.NumNodes()
+// ~1e-6 absolute error on the graphs in this module.
+//
+// This is the per-seed serving hot path: uniform transitions run off the
+// engine's cached 1/outdeg table (no per-arc probability array exists), and
+// the residual/queue scratch is pooled, so a warm solve allocates only the
+// returned result — the same two-allocation discipline as a warm Solve.
+func (e *Engine) SolvePPR(t *Transition, seed int32, opts ForwardPushOptions) (*PPRResult, error) {
+	if t.g != e.g {
+		return nil, fmt.Errorf("core: transition over %v does not match engine graph %v", t.g, e.g)
+	}
+	g := e.g
+	n := e.n
 	if n == 0 {
 		return nil, ErrEmptyGraph
 	}
@@ -47,7 +100,7 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 		return nil, fmt.Errorf("core: alpha %v out of range [0, 1)", opts.Alpha)
 	}
 	if opts.Epsilon == 0 {
-		opts.Epsilon = 1e-7
+		opts.Epsilon = DefaultPPREpsilon
 	}
 	if opts.Epsilon <= 0 {
 		return nil, fmt.Errorf("core: epsilon %v must be positive", opts.Epsilon)
@@ -58,15 +111,19 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 
 	// In the teleporting-walk formulation used by Solve, the PPR vector is
 	// p = (1-α) Σ_k α^k T^k e_seed. Forward push maintains p (estimate) and
-	// r (residual) with invariant p + (1-α) Σ α^k T^k r = answer.
-	p := make([]float64, n)
-	r := make([]float64, n)
+	// r (residual) with invariant p + (1-α) Σ α^k T^k r = answer; since T is
+	// stochastic (dangling mass returns to the seed), Σp + Σr = 1 exactly.
+	p := make([]float64, n) // escapes as PPRResult.Scores
+	st := e.getPPR()
+	r, inQueue, queue := st.r, st.inQueue, st.queue
 	r[seed] = 1
-	probs := t.arcProbs()
 
-	// Work queue of nodes whose residual exceeds the threshold.
-	queue := make([]int32, 0, 64)
-	inQueue := make([]bool, n)
+	var probs []float64
+	if !t.uniform {
+		probs = t.arcProbs()
+	}
+	invOut := e.invOut
+
 	push := func(u int32) {
 		if !inQueue[u] {
 			inQueue[u] = true
@@ -103,6 +160,19 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 			}
 			continue
 		}
+		if probs == nil {
+			// Implicit uniform transition: every out-arc of u carries the
+			// cached 1/outdeg probability.
+			pv := opts.Alpha * ru * invOut[u]
+			for k := lo; k < hi; k++ {
+				v := g.ArcTarget(k)
+				r[v] += pv
+				if r[v] >= threshold(v) {
+					push(v)
+				}
+			}
+			continue
+		}
 		for k := lo; k < hi; k++ {
 			v := g.ArcTarget(k)
 			r[v] += opts.Alpha * ru * probs[k]
@@ -111,5 +181,26 @@ func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64,
 			}
 		}
 	}
-	return p, nil
+	var residual float64
+	for _, rv := range r {
+		residual += rv
+	}
+	st.queue = queue
+	e.putPPR(st)
+	return &PPRResult{Scores: p, ResidualMass: residual, Pushes: pushes}, nil
+}
+
+// ForwardPush computes an approximate personalized PageRank vector for a
+// single seed. It is the convenience form of Engine.SolvePPR, routing through
+// the per-graph engine cache; callers that hold an engine (the serving layer)
+// should call SolvePPR directly and also get the residual diagnostics.
+func ForwardPush(t *Transition, seed int32, opts ForwardPushOptions) ([]float64, error) {
+	if t.g.NumNodes() == 0 {
+		return nil, ErrEmptyGraph
+	}
+	res, err := EngineFor(t.g).SolvePPR(t, seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Scores, nil
 }

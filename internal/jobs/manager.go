@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"d2pr/internal/pprcache"
 	"d2pr/internal/rankcache"
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
@@ -51,6 +52,9 @@ type Options struct {
 	Resolve func(name string) (*registry.Snapshot, error)
 	// Cache receives every computed score vector. Required.
 	Cache *rankcache.Cache
+	// PPRCache receives every computed personalized top-k. Required only for
+	// SubmitPPR; a manager built without one rejects PPR cohorts.
+	PPRCache *pprcache.Cache
 }
 
 // Defaults for Options.
@@ -59,12 +63,18 @@ const (
 	DefaultTTL     = 15 * time.Minute
 )
 
-// ConfigResult is the retained outcome of one configuration of a sweep.
+// ConfigResult is the retained outcome of one configuration of a sweep or
+// one seed of a PPR cohort. Exactly one of Spec / PPRSpec is populated,
+// matching the job kind.
 type ConfigResult struct {
-	// Config is the canonical rankcache key; a later /rank request with the
-	// same config string is served from cache.
+	// Config is the canonical cache key (rankcache for sweeps, pprcache for
+	// cohorts); a later synchronous request with the same configuration is
+	// served from the corresponding cache.
 	Config string        `json:"config"`
-	Spec   rankspec.Spec `json:"spec"`
+	Spec   rankspec.Spec `json:"spec,omitzero"`
+	// Seed and PPRSpec identify a PPR-cohort row.
+	Seed    *int32            `json:"seed,omitempty"`
+	PPRSpec *rankspec.PPRSpec `json:"ppr_spec,omitempty"`
 	// Cached reports that the score vector came from the rank cache (or an
 	// in-flight solve it piggybacked on) rather than a fresh solve.
 	Cached    bool             `json:"cached"`
@@ -100,6 +110,9 @@ type job struct {
 	id    string
 	spec  SweepSpec
 	specs []rankspec.Spec
+	// pprSpec/pprSpecs are set instead of spec/specs for PPR-cohort jobs.
+	pprSpec  *PPRBatchSpec
+	pprSpecs []rankspec.PPRSpec
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -116,9 +129,13 @@ type job struct {
 }
 
 func (j *job) statusLocked() Status {
+	graph, algo, total := j.spec.Graph, j.spec.Algo, len(j.specs)
+	if j.pprSpec != nil {
+		graph, algo, total = j.pprSpec.Graph, AlgoPPR, len(j.pprSpecs)
+	}
 	return Status{
-		ID: j.id, Graph: j.spec.Graph, Algo: j.spec.Algo, State: j.state,
-		Total: len(j.specs), Completed: len(j.results), Failed: j.failed,
+		ID: j.id, Graph: graph, Algo: algo, State: j.state,
+		Total: total, Completed: len(j.results), Failed: j.failed,
 		Error: j.errMsg, CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
 	}
 }
@@ -165,9 +182,11 @@ type Manager struct {
 	wg          sync.WaitGroup // one unit per running job goroutine
 	janitorStop chan struct{}
 
-	// hookBeforeConfig, when non-nil, runs before each configuration
-	// executes — a test seam for deterministic cancellation/progress tests.
-	hookBeforeConfig func(cfg rankspec.Spec)
+	// hookBeforeConfig / hookBeforePPRConfig, when non-nil, run before each
+	// configuration executes — test seams for deterministic
+	// cancellation/progress tests.
+	hookBeforeConfig    func(cfg rankspec.Spec)
+	hookBeforePPRConfig func(cfg rankspec.PPRSpec)
 }
 
 // New returns a Manager executing sweeps with opts. Resolve and Cache are
@@ -245,12 +264,16 @@ func (m *Manager) Submit(spec SweepSpec) (Status, error) {
 		state:   StateQueued,
 		created: time.Now(),
 	}
-	j.cond = sync.NewCond(&j.mu)
+	return m.enqueue(j)
+}
 
+// enqueue registers a constructed job and starts its runner goroutine.
+func (m *Manager) enqueue(j *job) (Status, error) {
+	j.cond = sync.NewCond(&j.mu)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		cancel()
+		j.cancel()
 		return Status{}, ErrClosed
 	}
 	m.seq++
@@ -265,7 +288,7 @@ func (m *Manager) Submit(spec SweepSpec) (Status, error) {
 }
 
 // run executes one job: resolve the graph once, re-validate seeds against
-// the real node count, then fan the grid out over the shared worker pool.
+// the real node count, then fan the work out over the shared worker pool.
 func (m *Manager) run(j *job) {
 	defer m.wg.Done()
 	j.mu.Lock()
@@ -273,6 +296,11 @@ func (m *Manager) run(j *job) {
 	j.started = time.Now()
 	j.cond.Broadcast()
 	j.mu.Unlock()
+
+	if j.pprSpec != nil {
+		m.runPPR(j)
+		return
+	}
 
 	snap, err := m.opts.Resolve(j.spec.Graph)
 	if err == nil {
@@ -292,8 +320,22 @@ func (m *Manager) run(j *job) {
 	// configuration the workers execute.
 	comp := rankspec.NewComputer(snap)
 
+	m.fanOut(j, len(j.specs), func(i int) ConfigResult {
+		cfg := j.specs[i]
+		if m.hookBeforeConfig != nil {
+			m.hookBeforeConfig(cfg)
+		}
+		return runConfig(comp, cfg, j.spec, m.opts.Cache, deg)
+	})
+}
+
+// fanOut executes n work items over the shared worker pool, appending each
+// item's result row as it completes (broadcasting for streamers), then moves
+// the job to its terminal state. exec must be safe for concurrent calls; it
+// is never invoked after the job's context is cancelled.
+func (m *Manager) fanOut(j *job, n int, exec func(i int) ConfigResult) {
 	var wg sync.WaitGroup
-	for _, cfg := range j.specs {
+	for i := 0; i < n; i++ {
 		if j.ctx.Err() != nil {
 			break
 		}
@@ -301,16 +343,13 @@ func (m *Manager) run(j *job) {
 		case <-j.ctx.Done():
 		case m.sem <- struct{}{}:
 			wg.Add(1)
-			go func(cfg rankspec.Spec) {
+			go func(i int) {
 				defer wg.Done()
 				defer func() { <-m.sem }()
 				if j.ctx.Err() != nil {
 					return
 				}
-				if m.hookBeforeConfig != nil {
-					m.hookBeforeConfig(cfg)
-				}
-				res := runConfig(comp, cfg, j.spec, m.opts.Cache, deg)
+				res := exec(i)
 				j.mu.Lock()
 				j.results = append(j.results, res)
 				if res.Error != "" {
@@ -321,7 +360,7 @@ func (m *Manager) run(j *job) {
 				}
 				j.cond.Broadcast()
 				j.mu.Unlock()
-			}(cfg)
+			}(i)
 		}
 	}
 	wg.Wait()

@@ -1,0 +1,72 @@
+package pprcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchEntries mirrors a top-k serving payload (k=100).
+func benchEntries(seed int) []Entry {
+	out := make([]Entry, 100)
+	for i := range out {
+		out[i] = Entry{Node: int32(seed + i), Score: 1 / float64(i+1)}
+	}
+	return out
+}
+
+// BenchmarkPPRWarmSeed measures serving a resident seed from the cache — the
+// warm counterpart of BenchmarkPPRColdSeed (internal/core), which it must
+// beat by ≥100×. The Get itself allocates nothing; the value is the shared
+// immutable []Entry, so the whole warm path is a hash, a shard lock, a sketch
+// touch, and an LRU bump.
+func BenchmarkPPRWarmSeed(b *testing.B) {
+	c := New(1024, 16)
+	keys := make([]Key, 64)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("g/ppr/seed=%d/eps=1e-07/k=100", i))
+		seed := i
+		if _, _, err := c.Get(keys[i], func() ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val, cached, err := c.Get(keys[i%len(keys)], func() ([]Entry, error) {
+			return nil, fmt.Errorf("warm bench must not compute")
+		})
+		if err != nil || !cached || len(val) != 100 {
+			b.Fatalf("val=%d cached=%v err=%v", len(val), cached, err)
+		}
+	}
+}
+
+// BenchmarkPPRCacheAdmission measures the full miss path under a heavy-tailed
+// seed stream: a small hot set that must stay resident plus a majority of
+// one-off seeds exercising the sketch-vs-victim admission decision on every
+// insert attempt.
+func BenchmarkPPRCacheAdmission(b *testing.B) {
+	c := New(256, 16)
+	hot := make([]Key, 32)
+	for i := range hot {
+		hot[i] = Key(fmt.Sprintf("hot-%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var key Key
+		if i%4 != 0 {
+			key = hot[i%len(hot)]
+		} else {
+			key = Key(fmt.Sprintf("cold-%d", i))
+		}
+		seed := i
+		if _, _, err := c.Get(key, func() ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := c.Stats(); st.Rejected == 0 && b.N > 10000 {
+		b.Fatalf("admission idle under one-off flood: %+v", st)
+	}
+}

@@ -1,0 +1,119 @@
+package rankspec
+
+import (
+	"fmt"
+	"strconv"
+
+	"d2pr/internal/core"
+	"d2pr/internal/graph"
+	"d2pr/internal/pprcache"
+	"d2pr/internal/registry"
+	"d2pr/internal/stats"
+)
+
+// MaxPPRK bounds the top-k size of a personalized request: a cached PPR
+// result is O(k), and forward push concentrates mass near the seed, so very
+// large k buys nothing a global ranking doesn't already serve.
+const MaxPPRK = 4096
+
+// DefaultPPRK is the top-k size used when a PPR request omits k.
+const DefaultPPRK = 100
+
+// PPRSpec is one fully-determined personalized-ranking configuration: a seed
+// node on a graph, the push accuracy ε, and the result size k. Like Spec, it
+// is the single source of the cache identity — the synchronous endpoint and
+// the batch cohort path both derive the same pprcache key from the same
+// PPRSpec, so a seed computed by a batch job is found by a later GET.
+type PPRSpec struct {
+	Graph   string  `json:"graph"`
+	Seed    int32   `json:"seed"`
+	Alpha   float64 `json:"alpha"`
+	Epsilon float64 `json:"eps"`
+	K       int     `json:"k"`
+}
+
+// NewPPR returns the default personalized configuration for a seed: the
+// paper's α, the serving ε, and the default top-k.
+func NewPPR(graphName string, seed int32) PPRSpec {
+	return PPRSpec{
+		Graph:   graphName,
+		Seed:    seed,
+		Alpha:   core.DefaultAlpha,
+		Epsilon: core.DefaultPPREpsilon,
+		K:       DefaultPPRK,
+	}
+}
+
+// Validate checks parameter ranges. numNodes bounds the seed id; pass a
+// negative value to skip the bound when the graph is not yet materialized
+// (the check must then be repeated once it is).
+func (s PPRSpec) Validate(numNodes int) error {
+	if s.Seed < 0 || (numNodes >= 0 && int(s.Seed) >= numNodes) {
+		return fmt.Errorf("seed %d out of range", s.Seed)
+	}
+	if s.Alpha <= 0 || s.Alpha >= 1 {
+		return fmt.Errorf("alpha %v out of (0, 1)", s.Alpha)
+	}
+	if s.Epsilon <= 0 || s.Epsilon > 1e-2 {
+		return fmt.Errorf("eps %v out of (0, 1e-2]", s.Epsilon)
+	}
+	if s.K <= 0 || s.K > MaxPPRK {
+		return fmt.Errorf("k %d out of [1, %d]", s.K, MaxPPRK)
+	}
+	return nil
+}
+
+// CacheKey derives the pprcache key. Every field is discriminating — there is
+// nothing to canonicalize away: seed and graph pick the personalized vector,
+// α and ε change its values, and k changes how much of it was kept.
+func (s PPRSpec) CacheKey() pprcache.Key {
+	return pprcache.Key(s.Graph +
+		"|ppr|seed=" + strconv.Itoa(int(s.Seed)) +
+		"|a=" + strconv.FormatFloat(s.Alpha, 'g', -1, 64) +
+		"|e=" + strconv.FormatFloat(s.Epsilon, 'g', -1, 64) +
+		"|k=" + strconv.Itoa(s.K))
+}
+
+// Compute runs the forward-push solve on the snapshot's graph and keeps the
+// top-k scores. It routes through the snapshot's cached engine — the pull
+// topology, the 1/outdeg table, and (for weighted graphs) the
+// connection-strength transition are all shared with every other serving
+// path — so a cache miss pays only the push itself plus the O(n + k·log k)
+// top-k selection.
+func (s PPRSpec) Compute(snap *registry.Snapshot) ([]pprcache.Entry, error) {
+	e := snap.Engine()
+	res, err := e.SolvePPR(e.Connection(), s.Seed, core.ForwardPushOptions{
+		Alpha:   s.Alpha,
+		Epsilon: s.Epsilon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return topPPREntries(res.Scores, s.K), nil
+}
+
+// topPPREntries keeps the k best (node, score) pairs in rank order, dropping
+// zero-score tail nodes: a push solve leaves almost every node untouched, and
+// an exact zero means "never reached", which is noise in a top-k table.
+func topPPREntries(scores []float64, k int) []pprcache.Entry {
+	idx := stats.TopKHeap(scores, k)
+	out := make([]pprcache.Entry, 0, len(idx))
+	for _, u := range idx {
+		if scores[u] == 0 {
+			break
+		}
+		out = append(out, pprcache.Entry{Node: int32(u), Score: scores[u]})
+	}
+	return out
+}
+
+// PPREntries expands compact cached rows into full ranking-table rows,
+// attaching rank numbers and degrees in O(k) — the reason pprcache stores
+// only (node, score).
+func PPREntries(g *graph.Graph, rows []pprcache.Entry) []Entry {
+	out := make([]Entry, len(rows))
+	for i, r := range rows {
+		out[i] = Entry{Rank: i + 1, Node: r.Node, Degree: g.Degree(r.Node), Score: r.Score}
+	}
+	return out
+}

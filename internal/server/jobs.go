@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 
 	"d2pr/internal/jobs"
@@ -21,23 +20,13 @@ const MaxSyncGrid = 256
 // a megabyte.
 const maxSweepBody = 1 << 20
 
-// decodeSweep parses a SweepSpec request body strictly: unknown fields are
-// rejected so a typo'd axis name ("betass") fails loudly instead of silently
-// sweeping the default.
+// decodeSweep parses a SweepSpec request body strictly: unknown fields and
+// trailing content are rejected so a typo'd axis name ("betass") fails
+// loudly instead of silently sweeping the default.
 func decodeSweep(w http.ResponseWriter, r *http.Request) (jobs.SweepSpec, error) {
 	var spec jobs.SweepSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		return spec, fmt.Errorf("bad sweep spec: %w", err)
-	}
-	// Reject trailing content after the spec object — a concatenated
-	// second object would otherwise be silently dropped.
-	var trailing json.RawMessage
-	if err := dec.Decode(&trailing); err != io.EOF {
-		return spec, fmt.Errorf("bad sweep spec: trailing data after JSON body")
-	}
-	return spec, nil
+	err := decodeStrictJSON(w, r, &spec)
+	return spec, err
 }
 
 // JobSubmitted is the POST /v1/jobs response body.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"d2pr/internal/jobs"
+	"d2pr/internal/pprcache"
 	"d2pr/internal/rankcache"
 )
 
@@ -51,6 +52,7 @@ type MetricsResponse struct {
 	AvgLatencyMs   float64         `json:"avg_latency_ms"`
 	Routes         []RouteCount    `json:"routes"`
 	Cache          rankcache.Stats `json:"cache"`
+	PPRCache       pprcache.Stats  `json:"ppr_cache"`
 	Jobs           jobs.Stats      `json:"jobs"`
 	GraphsLoaded   int             `json:"graphs_loaded"`
 	GraphsRegistry int             `json:"graphs_registered"`
@@ -73,6 +75,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.mu.Unlock()
 	sort.Slice(resp.Routes, func(a, b int) bool { return resp.Routes[a].Route < resp.Routes[b].Route })
 	resp.Cache = s.cache.Stats()
+	resp.PPRCache = s.ppr.Stats()
 	resp.Jobs = s.jobs.Stats()
 	for _, st := range s.reg.Statuses() {
 		resp.GraphsRegistry++

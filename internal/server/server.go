@@ -14,6 +14,9 @@
 //	GET    /v1/{graph}/info             → graph summary + Table-3 statistics
 //	GET    /v1/{graph}/rank             → full scores or top-k rows
 //	POST   /v1/{graph}/rank/batch       → synchronous small-grid sweep
+//	GET    /v1/{graph}/ppr?seed=3       → personalized top-k (forward push)
+//	POST   /v1/{graph}/ppr              → same, JSON body
+//	POST   /v1/{graph}/ppr/batch        → async per-seed cohort job
 //	GET    /v1/{graph}/topk?k=10        → top-k rows via bounded-heap select
 //	GET    /v1/{graph}/node/{id}        → one node's score, rank, degree
 //	GET    /v1/{graph}/correlate        → Spearman vs. the graph's
@@ -45,8 +48,10 @@ import (
 	"strings"
 	"time"
 
+	"d2pr/internal/core"
 	"d2pr/internal/graph"
 	"d2pr/internal/jobs"
+	"d2pr/internal/pprcache"
 	"d2pr/internal/rankcache"
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
@@ -64,6 +69,12 @@ type Config struct {
 	// JobTTL is how long finished job results stay retrievable.
 	// 0 means jobs.DefaultTTL.
 	JobTTL time.Duration
+	// PPRCacheSize bounds the number of resident personalized top-k results.
+	// 0 means pprcache.DefaultCapacity.
+	PPRCacheSize int
+	// PPREps is the forward-push residual threshold applied when a PPR
+	// request omits eps. 0 means core.DefaultPPREpsilon.
+	PPREps float64
 	// Logger receives one line per request when non-nil.
 	Logger *log.Logger
 }
@@ -72,6 +83,8 @@ type Config struct {
 type Server struct {
 	reg     *registry.Registry
 	cache   *rankcache.Cache
+	ppr     *pprcache.Cache
+	pprEps  float64
 	jobs    *jobs.Manager
 	logger  *log.Logger
 	metrics *metrics
@@ -87,17 +100,26 @@ func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
 	if reg.Has("jobs") {
 		return nil, errors.New(`server: graph name "jobs" is reserved for the job routes`)
 	}
+	if cfg.PPREps == 0 {
+		cfg.PPREps = core.DefaultPPREpsilon
+	}
+	if cfg.PPREps < 0 || cfg.PPREps > 1e-2 {
+		return nil, fmt.Errorf("server: ppr eps %v out of (0, 1e-2]", cfg.PPREps)
+	}
 	s := &Server{
 		reg:     reg,
 		cache:   rankcache.New(cfg.CacheSize),
+		ppr:     pprcache.New(cfg.PPRCacheSize, 0),
+		pprEps:  cfg.PPREps,
 		logger:  cfg.Logger,
 		metrics: newMetrics(),
 	}
 	mgr, err := jobs.New(jobs.Options{
-		Workers: cfg.JobWorkers,
-		TTL:     cfg.JobTTL,
-		Resolve: reg.Get,
-		Cache:   s.cache,
+		Workers:  cfg.JobWorkers,
+		TTL:      cfg.JobTTL,
+		Resolve:  reg.Get,
+		Cache:    s.cache,
+		PPRCache: s.ppr,
 	})
 	if err != nil {
 		return nil, err
@@ -122,6 +144,9 @@ func New(g *graph.Graph, significance []float64) (*Server, error) {
 
 // Cache exposes the result cache (for warming and stats).
 func (s *Server) Cache() *rankcache.Cache { return s.cache }
+
+// PPRCache exposes the personalized-ranking result cache.
+func (s *Server) PPRCache() *pprcache.Cache { return s.ppr }
 
 // Jobs exposes the sweep-job manager.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
@@ -148,6 +173,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/{graph}/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/{graph}/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/{graph}/rank/batch", s.handleRankBatch)
+	mux.HandleFunc("GET /v1/{graph}/ppr", s.handlePPRGet)
+	mux.HandleFunc("POST /v1/{graph}/ppr", s.handlePPRPost)
+	mux.HandleFunc("POST /v1/{graph}/ppr/batch", s.handlePPRBatch)
 	mux.HandleFunc("GET /v1/{graph}/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/{graph}/node/{id}", s.handleNode)
 	mux.HandleFunc("GET /v1/{graph}/correlate", s.handleCorrelate)

@@ -6,10 +6,14 @@
 #
 #   BENCH_serve.json — serving layer (internal/server): cold solve, warm
 #                      cache hit, 20-config batch-vs-sequential sweep.
-#   BENCH_core.json  — solver engine (internal/core): cold (re-transpose)
-#                      vs warm (cached-engine) solve, implicit-uniform
-#                      solve, and node- vs arc-balanced parallel sweeps on
-#                      a skewed power-law graph.
+#   BENCH_core.json  — solver engine (internal/core) + personalized path
+#                      (internal/pprcache): cold (re-transpose) vs warm
+#                      (cached-engine) solve, implicit-uniform solve, node-
+#                      vs arc-balanced parallel sweeps on a skewed power-law
+#                      graph, plus the PPR serving pair — cold forward push
+#                      per seed (BenchmarkPPRColdSeed) vs warm cached top-k
+#                      lookup (BenchmarkPPRWarmSeed; must be ≥100× faster)
+#                      and the admission-path mixed-traffic bench.
 #
 # Usage:
 #   scripts/bench.sh                 # default: -benchtime 1s, -count 1
@@ -45,7 +49,8 @@ run_suite() {
   local raw
   raw="$(mktemp)"
   RAWS+=("$raw")
-  go test "$pkg" -run '^$' -bench "$pattern" -benchmem \
+  # $pkg is intentionally unquoted: a suite may span several packages.
+  go test $pkg -run '^$' -bench "$pattern" -benchmem \
     -benchtime "$BENCHTIME" -count "$COUNT" | tee "$raw"
 
   awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -76,4 +81,4 @@ run_suite() {
 }
 
 run_suite ./internal/server 'BenchmarkRankRequest|BenchmarkSweep20' "$OUTDIR/BENCH_serve.json"
-run_suite ./internal/core   'BenchmarkCore'                         "$OUTDIR/BENCH_core.json"
+run_suite "./internal/core ./internal/pprcache" 'BenchmarkCore|BenchmarkPPR' "$OUTDIR/BENCH_core.json"
