@@ -27,6 +27,12 @@
 // Parameter sweeps run as asynchronous jobs on a worker pool sized by
 // -job-workers; finished job results are retained for -job-ttl.
 //
+// Cold solves run under per-graph admission control: -max-concurrent solves
+// per graph, -queue-depth queued behind them, and everything past that shed
+// with 429 + Retry-After (a stale cached score is served instead when one
+// exists). -request-timeout sets a default compute deadline; clients may
+// override it per request with ?timeout=, capped at -max-request-timeout.
+//
 // -pprof localhost:6060 exposes net/http/pprof on a separate listener for
 // profiling hot solver paths; it is off by default and never mounted on the
 // serving mux.
@@ -76,6 +82,11 @@ func main() {
 		pprEps     = flag.Float64("ppr-eps", 0, "default forward-push residual threshold for /ppr (0 = default 1e-7)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request logging")
+
+		reqTimeout    = flag.Duration("request-timeout", 0, "default deadline for compute requests; ?timeout= overrides per request (0 = none)")
+		maxReqTimeout = flag.Duration("max-request-timeout", 0, "cap on per-request ?timeout= overrides (0 = default 1m)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent solves admitted per graph (0 = default 4)")
+		queueDepth    = flag.Int("queue-depth", 0, "solve requests queued per graph before shedding with 429 (0 = default 16, negative = no queue)")
 	)
 	flag.Parse()
 
@@ -122,11 +133,15 @@ func main() {
 	}
 
 	cfg := server.Config{
-		CacheSize:    *cacheSize,
-		JobWorkers:   *jobWorkers,
-		JobTTL:       *jobTTL,
-		PPRCacheSize: *pprCache,
-		PPREps:       *pprEps,
+		CacheSize:         *cacheSize,
+		JobWorkers:        *jobWorkers,
+		JobTTL:            *jobTTL,
+		PPRCacheSize:      *pprCache,
+		PPREps:            *pprEps,
+		RequestTimeout:    *reqTimeout,
+		MaxRequestTimeout: *maxReqTimeout,
+		MaxConcurrent:     *maxConcurrent,
+		MaxQueue:          *queueDepth,
 	}
 	if !*quiet {
 		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)

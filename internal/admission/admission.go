@@ -1,0 +1,194 @@
+// Package admission is the serving layer's load-shedding gate: per-graph
+// concurrency budgets with a small bounded wait queue, plus request-deadline
+// derivation. A solve may only run while holding a slot of its graph's
+// budget; when the slots are busy a bounded number of requests wait in line
+// (cancellable), and past that the controller sheds with ErrQueueFull — the
+// signal the HTTP layer turns into 429 + Retry-After (or a stale cached
+// score, when one exists).
+//
+// The budget is per graph, not global: one graph's cold-solve burst must not
+// starve cheap requests on the others — the FolkRank-style multi-tenant
+// discipline where one expensive personalization cannot monopolize the
+// service. Cache hits and single-flight piggybacks never touch the budget;
+// only the compute closure of an actual solve acquires a slot.
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Acquire when a graph's compute slots and wait
+// queue are both saturated — the request should be shed (HTTP 429).
+var ErrQueueFull = errors.New("admission: per-graph compute queue is full")
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxConcurrent = 4
+	DefaultMaxQueue      = 16
+	DefaultMaxTimeout    = time.Minute
+)
+
+// Config tunes a Controller. The zero value takes every default.
+type Config struct {
+	// MaxConcurrent is the number of solves that may run concurrently per
+	// graph. 0 means DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds how many acquisitions may wait for a slot per graph
+	// beyond the ones running; arrivals past the bound are shed with
+	// ErrQueueFull. 0 means DefaultMaxQueue; negative means no waiting (shed
+	// as soon as the slots are busy).
+	MaxQueue int
+	// Timeout is the deadline applied to a request that does not ask for its
+	// own (see Deadline). 0 means no default deadline.
+	Timeout time.Duration
+	// MaxTimeout caps per-request deadline overrides — a client cannot buy
+	// more solver time than the operator allows. 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of the controller's counters.
+type Stats struct {
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// Admitted counts acquisitions that got a slot (immediately or after
+	// waiting); Shed counts acquisitions rejected with ErrQueueFull.
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+	// Abandoned counts acquisitions whose context ended while waiting in
+	// the queue.
+	Abandoned uint64 `json:"abandoned"`
+	// Running and QueueDepth are the current slot holders and queued
+	// waiters across all graphs.
+	Running    int `json:"running"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// budget is one graph's admission state. slots is a buffered channel used
+// as a counting semaphore; queued counts waiters blocked on it (guarded by
+// the controller mutex).
+type budget struct {
+	slots  chan struct{}
+	queued int
+}
+
+// Controller hands out per-graph compute slots. All methods are safe for
+// concurrent use.
+type Controller struct {
+	cfg    Config
+	mu     sync.Mutex
+	graphs map[string]*budget
+	stats  Stats
+}
+
+// New returns a Controller with cfg's budgets, applying defaults to zero
+// fields.
+func New(cfg Config) *Controller {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = DefaultMaxQueue
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.Timeout > cfg.MaxTimeout {
+		cfg.Timeout = cfg.MaxTimeout
+	}
+	return &Controller{cfg: cfg, graphs: map[string]*budget{}}
+}
+
+// budgetFor returns (creating on first use) the named graph's budget.
+// Callers hold c.mu.
+func (c *Controller) budgetFor(graph string) *budget {
+	b, ok := c.graphs[graph]
+	if !ok {
+		b = &budget{slots: make(chan struct{}, c.cfg.MaxConcurrent)}
+		c.graphs[graph] = b
+	}
+	return b
+}
+
+// Acquire claims a compute slot of the named graph's budget, waiting in the
+// bounded queue when the slots are busy. It returns a release function that
+// must be called exactly once when the solve finishes. When the queue is
+// full it sheds immediately with ErrQueueFull; when ctx ends first it
+// returns ctx.Err(). The wait honors ctx, so an abandoned solve context
+// (every requester gone) also unblocks anyone queued on its behalf.
+func (c *Controller) Acquire(ctx context.Context, graph string) (release func(), err error) {
+	c.mu.Lock()
+	b := c.budgetFor(graph)
+	// Fast path: a free slot means no queueing decision to make.
+	select {
+	case b.slots <- struct{}{}:
+		c.stats.Admitted++
+		c.stats.Running++
+		c.mu.Unlock()
+		return func() { c.release(b) }, nil
+	default:
+	}
+	if b.queued >= c.cfg.MaxQueue {
+		c.stats.Shed++
+		c.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	b.queued++
+	c.stats.QueueDepth++
+	c.mu.Unlock()
+
+	select {
+	case b.slots <- struct{}{}:
+		c.mu.Lock()
+		b.queued--
+		c.stats.QueueDepth--
+		c.stats.Admitted++
+		c.stats.Running++
+		c.mu.Unlock()
+		return func() { c.release(b) }, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		b.queued--
+		c.stats.QueueDepth--
+		c.stats.Abandoned++
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Controller) release(b *budget) {
+	<-b.slots
+	c.mu.Lock()
+	c.stats.Running--
+	c.mu.Unlock()
+}
+
+// Deadline derives a request's compute context from its client context: the
+// per-request override when given (capped at MaxTimeout), else the
+// configured default Timeout, else no deadline. The returned cancel must
+// always be called.
+func (c *Controller) Deadline(ctx context.Context, override time.Duration) (context.Context, context.CancelFunc) {
+	d := c.cfg.Timeout
+	if override > 0 {
+		d = min(override, c.cfg.MaxTimeout)
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.MaxConcurrent = c.cfg.MaxConcurrent
+	st.MaxQueue = c.cfg.MaxQueue
+	return st
+}

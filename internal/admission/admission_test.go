@@ -1,0 +1,162 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAcquireReleaseCycle: slots are reusable and the counters balance.
+func TestAcquireReleaseCycle(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: 1})
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		rel, err := c.Acquire(context.Background(), "g")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if st := c.Stats(); st.Running != 2 || st.Admitted != 2 {
+		t.Fatalf("stats after two acquires: %+v", st)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if st := c.Stats(); st.Running != 0 {
+		t.Fatalf("stats after releases: %+v", st)
+	}
+	// Slots freed: a new acquire succeeds immediately.
+	rel, err := c.Acquire(context.Background(), "g")
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	rel()
+}
+
+// TestQueueFullSheds: with the slots busy and the queue occupied, the next
+// acquisition is shed immediately with ErrQueueFull rather than blocking.
+func TestQueueFullSheds(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 1})
+	rel, err := c.Acquire(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// Fill the one queue seat with a waiter.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	defer cancelWaiter()
+	waiterErr := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(waiterCtx, "g")
+		if err == nil {
+			rel2()
+		}
+		waiterErr <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().QueueDepth == 1 })
+
+	// Queue full: shed, not block.
+	if _, err := c.Acquire(context.Background(), "g"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if st := c.Stats(); st.Shed != 1 {
+		t.Fatalf("shed counter: %+v", st)
+	}
+
+	// The queued waiter is still intact: cancelling it reports ctx.Err().
+	cancelWaiter()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued waiter: want Canceled, got %v", err)
+	}
+	if st := c.Stats(); st.QueueDepth != 0 || st.Abandoned != 1 {
+		t.Fatalf("stats after abandon: %+v", st)
+	}
+}
+
+// TestQueuedWaiterGetsSlot: releasing a slot hands it to the queued waiter.
+func TestQueuedWaiterGetsSlot(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 2})
+	rel, err := c.Acquire(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan func(), 1)
+	go func() {
+		rel2, err := c.Acquire(context.Background(), "g")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got <- rel2
+	}()
+	waitFor(t, func() bool { return c.Stats().QueueDepth == 1 })
+	rel()
+	select {
+	case rel2 := <-got:
+		rel2()
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never got the released slot")
+	}
+}
+
+// TestBudgetsArePerGraph: saturating one graph does not touch another's
+// slots.
+func TestBudgetsArePerGraph(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: -1})
+	relA, err := c.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relA()
+	// "a" is saturated with no queue: it sheds...
+	if _, err := c.Acquire(context.Background(), "a"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull on saturated graph, got %v", err)
+	}
+	// ...while "b" admits immediately.
+	relB, err := c.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("other graph's budget affected: %v", err)
+	}
+	relB()
+}
+
+// TestDeadline: override beats default, the cap beats the override, and no
+// configuration means no deadline.
+func TestDeadline(t *testing.T) {
+	c := New(Config{Timeout: time.Minute, MaxTimeout: time.Hour})
+	ctx, cancel := c.Deadline(context.Background(), 0)
+	d, ok := ctx.Deadline()
+	cancel()
+	if !ok || time.Until(d) > time.Minute {
+		t.Fatalf("default deadline: ok=%v d=%v", ok, d)
+	}
+
+	ctx, cancel = c.Deadline(context.Background(), 2*time.Hour)
+	d, ok = ctx.Deadline()
+	cancel()
+	if !ok || time.Until(d) > time.Hour {
+		t.Fatalf("capped override: ok=%v until=%v", ok, time.Until(d))
+	}
+
+	none := New(Config{})
+	ctx, cancel = none.Deadline(context.Background(), 0)
+	_, ok = ctx.Deadline()
+	cancel()
+	if ok {
+		t.Fatal("unconfigured controller applied a deadline")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

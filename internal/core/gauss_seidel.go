@@ -1,6 +1,10 @@
 package core
 
-import "math"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 // SolveGaussSeidel solves the same fixpoint as Solve with in-place
 // Gauss–Seidel sweeps: each node update immediately uses the freshest scores
@@ -22,6 +26,16 @@ import "math"
 // both solvers converge to the same vector (within tolerance), which
 // TestGaussSeidelMatchesPowerIteration asserts.
 func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
+	return SolveGaussSeidelContext(context.Background(), t, opts)
+}
+
+// SolveGaussSeidelContext is SolveGaussSeidel with cancellation: ctx is
+// polled once per sweep, and a cancelled solve aborts with the context's
+// error wrapped with sweep progress instead of running to convergence.
+func SolveGaussSeidelContext(ctx context.Context, t *Transition, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := t.g.NumNodes()
 	if n == 0 {
 		return nil, ErrEmptyGraph
@@ -89,7 +103,12 @@ func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
 		x[v] = nv
 		return math.Abs(d)
 	}
+	var cancelErr error
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			cancelErr = fmt.Errorf("core: gauss-seidel solve aborted after %d/%d sweeps: %w", res.Iterations, opts.MaxIter, err)
+			break
+		}
 		// Alternate the sweep direction: whichever way the graph's natural
 		// ordering points (citation DAGs point at lower ids, BFS orders at
 		// higher ones), every second sweep runs "with the grain" and uses
@@ -111,25 +130,30 @@ func SolveGaussSeidel(t *Transition, opts Options) (*Result, error) {
 			break
 		}
 	}
-	// Gauss–Seidel sweeps do not preserve the L1 norm mid-stream;
-	// renormalize exactly as Solve does.
-	var sum float64
-	for _, v := range x {
-		sum += v
-	}
-	if sum > 0 {
-		inv := 1 / sum
-		for i := range x {
-			x[i] *= inv
+	if cancelErr == nil {
+		// Gauss–Seidel sweeps do not preserve the L1 norm mid-stream;
+		// renormalize exactly as Solve does.
+		var sum float64
+		for _, v := range x {
+			sum += v
 		}
+		if sum > 0 {
+			inv := 1 / sum
+			for i := range x {
+				x[i] *= inv
+			}
+		}
+		res.Scores = x
 	}
-	res.Scores = x
 	e.putN(telep)
 	if scaledp != nil {
 		e.putN(scaledp)
 	}
 	if probsp != nil {
 		e.putM(probsp)
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -82,6 +83,18 @@ func (e *Engine) putPPR(s *pprScratch) {
 // the residual/queue scratch is pooled, so a warm solve allocates only the
 // returned result — the same two-allocation discipline as a warm Solve.
 func (e *Engine) SolvePPR(t *Transition, seed int32, opts ForwardPushOptions) (*PPRResult, error) {
+	return e.SolvePPRContext(context.Background(), t, seed, opts)
+}
+
+// SolvePPRContext is SolvePPR with cancellation: the push loop polls ctx
+// every few hundred dequeues (a push is far cheaper than a power-iteration
+// sweep, so per-operation polling would dominate) and aborts with the
+// context's error wrapped with push progress. A cancelled solve returns
+// within a small constant number of pushes of the cancellation.
+func (e *Engine) SolvePPRContext(ctx context.Context, t *Transition, seed int32, opts ForwardPushOptions) (*PPRResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if t.g != e.g {
 		return nil, fmt.Errorf("core: transition over %v does not match engine graph %v", t.g, e.g)
 	}
@@ -139,7 +152,16 @@ func (e *Engine) SolvePPR(t *Transition, seed int32, opts ForwardPushOptions) (*
 	}
 	push(seed)
 	pushes := 0
+	steps := 0
 	for len(queue) > 0 && pushes < opts.MaxPushes {
+		steps++
+		if steps&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				st.queue = queue
+				e.putPPR(st)
+				return nil, fmt.Errorf("core: ppr solve aborted after %d pushes: %w", pushes, err)
+			}
+		}
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		inQueue[u] = false

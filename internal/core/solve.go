@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Solve runs power iteration on the transition until the L1 residual drops
 // below opts.Tol or opts.MaxIter iterations elapse. The returned score
 // vector sums to 1 (up to floating-point rounding).
@@ -10,8 +12,16 @@ package core
 // probabilities — and uniform transitions skip even that, running entirely
 // off the cached 1/outdeg table.
 func Solve(t *Transition, opts Options) (*Result, error) {
+	return SolveContext(context.Background(), t, opts)
+}
+
+// SolveContext is Solve with cancellation: the solver polls ctx once per
+// iteration and aborts with the context's error (wrapped with iteration
+// progress) when it is cancelled or its deadline expires. See
+// Engine.SolveContext.
+func SolveContext(ctx context.Context, t *Transition, opts Options) (*Result, error) {
 	if t.g.NumNodes() == 0 {
 		return nil, ErrEmptyGraph
 	}
-	return EngineFor(t.g).Solve(t, opts)
+	return EngineFor(t.g).SolveContext(ctx, t, opts)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,6 +61,17 @@ func (s *SweepSolver) Graph() *graph.Graph { return s.e.g }
 // Solve ranks one (p, β) configuration, equivalent to
 // Solve(Blended(g, p, beta), opts) but reusing the shared sweep state.
 func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
+	return s.SolveContext(context.Background(), p, beta, opts)
+}
+
+// SolveContext is Solve with cancellation: the underlying power iteration
+// polls ctx once per iteration (see Engine.SolveContext), so a cancelled
+// sweep configuration aborts within one iteration instead of running to
+// convergence.
+func (s *SweepSolver) SolveContext(ctx context.Context, p, beta float64, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.e.n
 	if n == 0 {
 		return nil, ErrEmptyGraph
@@ -76,7 +88,7 @@ func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
 	// mirrors Blended's own short-circuits so sweep scores stay
 	// interchangeable with the interactive pipeline.
 	if (p == 0 && (beta == 0 || s.conn.uniform)) || (beta == 1 && s.conn.uniform) {
-		return s.e.power(nil, opts, true)
+		return s.e.power(ctx, nil, opts, true)
 	}
 	pp := s.e.getM()
 	fprobs := *pp
@@ -88,7 +100,7 @@ func (s *SweepSolver) Solve(p, beta float64, opts Options) (*Result, error) {
 	} else {
 		s.decoupledFlowProbs(p, beta, fprobs)
 	}
-	res, err := s.e.power(fprobs, opts, true)
+	res, err := s.e.power(ctx, fprobs, opts, true)
 	s.e.putM(pp)
 	return res, err
 }

@@ -229,6 +229,73 @@ func TestCancelMidSweep(t *testing.T) {
 	}
 }
 
+// TestCancelledConfigsLandAsSkippedRows: a cancelled sweep must account for
+// every configuration in the grid — the ones the cancel kept from running
+// come back as explicit skipped rows (Skipped, Error "cancelled"), visible
+// both in Results and in the streamed NDJSON rows, never silently dropped.
+func TestCancelledConfigsLandAsSkippedRows(t *testing.T) {
+	m, _ := testManager(t, testRegistry(t), Options{Workers: 1})
+	release := make(chan struct{})
+	started := make(chan struct{}, 64)
+	m.hookBeforeConfig = func(rankspec.Spec) {
+		started <- struct{}{}
+		<-release
+	}
+	st, err := m.Submit(SweepSpec{Graph: "g", Ps: []float64{0, 0.25, 0.5, 0.75, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	final := waitTerminal(t, m, st.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+	if final.Skipped == 0 {
+		t.Fatalf("no skipped configurations recorded: %+v", final)
+	}
+	if final.Completed+final.Skipped > final.Total {
+		t.Fatalf("completed %d + skipped %d exceeds total %d", final.Completed, final.Skipped, final.Total)
+	}
+
+	rows, _, err := m.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != final.Total {
+		t.Fatalf("results hold %d rows for a %d-config grid: cancelled configs were dropped", len(rows), final.Total)
+	}
+	skipped := 0
+	for _, row := range rows {
+		if row.Skipped {
+			skipped++
+			if row.Error != "cancelled" {
+				t.Errorf("skipped row %q error = %q, want \"cancelled\"", row.Config, row.Error)
+			}
+			if row.Top != nil {
+				t.Errorf("skipped row %q carries scores", row.Config)
+			}
+		}
+	}
+	if skipped != final.Skipped {
+		t.Errorf("rows mark %d skipped, status says %d", skipped, final.Skipped)
+	}
+
+	// The NDJSON stream replays every row, skipped ones included.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	streamed := 0
+	if _, err := m.Stream(ctx, st.ID, func(r ConfigResult) error { streamed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != final.Total {
+		t.Errorf("stream delivered %d rows, want %d", streamed, final.Total)
+	}
+}
+
 func TestStreamDeliversAllRows(t *testing.T) {
 	m, _ := testManager(t, testRegistry(t), Options{Workers: 2})
 	st, err := m.Submit(SweepSpec{Graph: "g", Ps: []float64{0, 0.5, 1, 1.5}})

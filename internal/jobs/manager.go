@@ -85,6 +85,12 @@ type ConfigResult struct {
 	Spearman       *float64 `json:"spearman,omitempty"`
 	DegreeSpearman *float64 `json:"degree_spearman,omitempty"`
 	Error          string   `json:"error,omitempty"`
+	// Skipped marks a configuration whose solve never ran because the job
+	// was cancelled (or the manager shut down) first. Skipped rows still
+	// appear in the NDJSON stream — every configuration of the grid is
+	// accounted for — but are excluded from Status.Completed and do not
+	// count as failures.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Status is a point-in-time snapshot of one job.
@@ -94,10 +100,13 @@ type Status struct {
 	Algo  string `json:"algo"`
 	State State  `json:"state"`
 	// Total is the grid size; Completed counts finished configurations
-	// (including failed ones), Failed the subset that errored.
+	// (including failed ones, excluding skipped ones), Failed the subset
+	// that errored, Skipped the configurations a cancellation kept from
+	// ever starting.
 	Total      int       `json:"total"`
 	Completed  int       `json:"completed"`
 	Failed     int       `json:"failed"`
+	Skipped    int       `json:"skipped,omitempty"`
 	Error      string    `json:"error,omitempty"`
 	CreatedAt  time.Time `json:"created_at"`
 	StartedAt  time.Time `json:"started_at,omitzero"`
@@ -122,6 +131,7 @@ type job struct {
 	state    State
 	results  []ConfigResult
 	failed   int
+	skipped  int
 	errMsg   string
 	created  time.Time
 	started  time.Time
@@ -135,7 +145,7 @@ func (j *job) statusLocked() Status {
 	}
 	return Status{
 		ID: j.id, Graph: graph, Algo: algo, State: j.state,
-		Total: total, Completed: len(j.results), Failed: j.failed,
+		Total: total, Completed: len(j.results) - j.skipped, Failed: j.failed, Skipped: j.skipped,
 		Error: j.errMsg, CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
 	}
 }
@@ -325,41 +335,54 @@ func (m *Manager) run(j *job) {
 		if m.hookBeforeConfig != nil {
 			m.hookBeforeConfig(cfg)
 		}
-		return runConfig(comp, cfg, j.spec, m.opts.Cache, deg)
+		return runConfig(j.ctx, comp, cfg, j.spec, m.opts.Cache, deg)
+	}, func(i int) ConfigResult {
+		cfg := j.specs[i]
+		return ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Skipped: true, Error: "cancelled"}
 	})
 }
 
 // fanOut executes n work items over the shared worker pool, appending each
 // item's result row as it completes (broadcasting for streamers), then moves
 // the job to its terminal state. exec must be safe for concurrent calls; it
-// is never invoked after the job's context is cancelled.
-func (m *Manager) fanOut(j *job, n int, exec func(i int) ConfigResult) {
+// is never invoked after the job's context is cancelled — configurations the
+// cancellation keeps from running land as skip(i) rows instead, so the
+// NDJSON stream accounts for every configuration of the grid rather than
+// silently dropping the tail.
+func (m *Manager) fanOut(j *job, n int, exec, skip func(i int) ConfigResult) {
+	add := func(res ConfigResult) {
+		j.mu.Lock()
+		j.results = append(j.results, res)
+		if res.Skipped {
+			j.skipped++
+		} else if res.Error != "" {
+			j.failed++
+			if j.errMsg == "" {
+				j.errMsg = res.Error
+			}
+		}
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		if j.ctx.Err() != nil {
-			break
+			add(skip(i))
+			continue
 		}
 		select {
 		case <-j.ctx.Done():
+			add(skip(i))
 		case m.sem <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-m.sem }()
 				if j.ctx.Err() != nil {
+					add(skip(i))
 					return
 				}
-				res := exec(i)
-				j.mu.Lock()
-				j.results = append(j.results, res)
-				if res.Error != "" {
-					j.failed++
-					if j.errMsg == "" {
-						j.errMsg = res.Error
-					}
-				}
-				j.cond.Broadcast()
-				j.mu.Unlock()
+				add(exec(i))
 			}(i)
 		}
 	}
@@ -403,18 +426,17 @@ func (m *Manager) finishJob(j *job, errMsg string) {
 }
 
 // runConfig executes one configuration through the rank cache and builds its
-// retained result row. deg is the precomputed per-node degree vector (nil
-// unless the sweep correlates).
-func runConfig(comp *rankspec.Computer, cfg rankspec.Spec, sw SweepSpec, cache *rankcache.Cache, deg []float64) ConfigResult {
+// retained result row. ctx bounds this configuration's wait and (if it is
+// the last interested party) its solve. deg is the precomputed per-node
+// degree vector (nil unless the sweep correlates).
+func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, sw SweepSpec, cache *rankcache.Cache, deg []float64) ConfigResult {
 	snap := comp.Snapshot()
 	started := time.Now()
 	key := cfg.CacheKey()
-	solved := false
-	scores, err := cache.Get(key, func() ([]float64, error) {
-		solved = true
-		return comp.Compute(cfg)
+	scores, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
+		return comp.Compute(solveCtx, cfg)
 	})
-	res := ConfigResult{Config: string(key), Spec: cfg, Cached: !solved}
+	res := ConfigResult{Config: string(key), Spec: cfg, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 		res.ElapsedMs = time.Since(started).Seconds() * 1000
@@ -468,7 +490,7 @@ func RunSync(ctx context.Context, snap *registry.Snapshot, sw SweepSpec, cache *
 			}
 		}
 		if cancelled {
-			results[i] = ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Error: "cancelled"}
+			results[i] = ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Skipped: true, Error: "cancelled"}
 			continue
 		}
 		wg.Add(1)
@@ -476,10 +498,10 @@ func RunSync(ctx context.Context, snap *registry.Snapshot, sw SweepSpec, cache *
 			defer wg.Done()
 			defer func() { <-sem }()
 			if ctx.Err() != nil {
-				results[i] = ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Error: "cancelled"}
+				results[i] = ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Skipped: true, Error: "cancelled"}
 				return
 			}
-			results[i] = runConfig(comp, cfg, sw, cache, deg)
+			results[i] = runConfig(ctx, comp, cfg, sw, cache, deg)
 		}(i, cfg)
 	}
 	wg.Wait()

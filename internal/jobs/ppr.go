@@ -146,18 +146,24 @@ func (m *Manager) runPPR(j *job) {
 		if m.hookBeforePPRConfig != nil {
 			m.hookBeforePPRConfig(spec)
 		}
-		return runPPRConfig(snap, spec, m.opts.PPRCache)
+		return runPPRConfig(j.ctx, snap, spec, m.opts.PPRCache)
+	}, func(i int) ConfigResult {
+		spec := j.pprSpecs[i]
+		seed := spec.Seed
+		return ConfigResult{Config: string(spec.CacheKey()), Seed: &seed, PPRSpec: &spec, Skipped: true, Error: "cancelled"}
 	})
 }
 
 // runPPRConfig executes one seed through the PPR cache and builds its
-// retained result row. The cached compact rows are expanded to full ranking
-// entries here (O(k)); the cache itself never stores degrees or ranks.
-func runPPRConfig(snap *registry.Snapshot, spec rankspec.PPRSpec, cache *pprcache.Cache) ConfigResult {
+// retained result row. ctx bounds this seed's wait and (if it is the last
+// interested party) its solve. The cached compact rows are expanded to full
+// ranking entries here (O(k)); the cache itself never stores degrees or
+// ranks.
+func runPPRConfig(ctx context.Context, snap *registry.Snapshot, spec rankspec.PPRSpec, cache *pprcache.Cache) ConfigResult {
 	started := time.Now()
 	key := spec.CacheKey()
-	rows, cached, err := cache.Get(key, func() ([]pprcache.Entry, error) {
-		return spec.Compute(snap)
+	rows, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]pprcache.Entry, error) {
+		return spec.Compute(solveCtx, snap)
 	})
 	seed := spec.Seed
 	res := ConfigResult{Config: string(key), Seed: &seed, PPRSpec: &spec, Cached: cached}

@@ -1,6 +1,7 @@
 package pprcache
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -25,14 +26,14 @@ func BenchmarkPPRWarmSeed(b *testing.B) {
 	for i := range keys {
 		keys[i] = Key(fmt.Sprintf("g/ppr/seed=%d/eps=1e-07/k=100", i))
 		seed := i
-		if _, _, err := c.Get(keys[i], func() ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
+		if _, _, err := c.Get(context.Background(), keys[i], func(context.Context) ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		val, cached, err := c.Get(keys[i%len(keys)], func() ([]Entry, error) {
+		val, cached, err := c.Get(context.Background(), keys[i%len(keys)], func(context.Context) ([]Entry, error) {
 			return nil, fmt.Errorf("warm bench must not compute")
 		})
 		if err != nil || !cached || len(val) != 100 {
@@ -61,7 +62,7 @@ func BenchmarkPPRCacheAdmission(b *testing.B) {
 			key = Key(fmt.Sprintf("cold-%d", i))
 		}
 		seed := i
-		if _, _, err := c.Get(key, func() ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
+		if _, _, err := c.Get(context.Background(), key, func(context.Context) ([]Entry, error) { return benchEntries(seed), nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

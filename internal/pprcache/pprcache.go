@@ -26,6 +26,7 @@ package pprcache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -44,8 +45,11 @@ type Entry struct {
 	Score float64 `json:"score"`
 }
 
-// ComputeFunc produces the top-k entries for a key on a cache miss.
-type ComputeFunc func() ([]Entry, error)
+// ComputeFunc produces the top-k entries for a key on a cache miss. The
+// context is the solve context: detached from any single requester's
+// lifetime, cancelled only when every waiter for the key has abandoned the
+// flight (see Get).
+type ComputeFunc func(ctx context.Context) ([]Entry, error)
 
 // Stats is a point-in-time snapshot of cache effectiveness counters,
 // aggregated across shards.
@@ -59,9 +63,12 @@ type Stats struct {
 	// Rejected counts computed entries the admission policy declined to
 	// cache because their estimated frequency did not beat the LRU victim's.
 	Rejected uint64 `json:"rejected"`
-	Len      int    `json:"len"`
-	Cap      int    `json:"cap"`
-	Shards   int    `json:"shards"`
+	// Abandoned counts in-flight solves cancelled because every waiter gave
+	// up (request cancellation / deadline) before the solve finished.
+	Abandoned uint64 `json:"abandoned"`
+	Len       int    `json:"len"`
+	Cap       int    `json:"cap"`
+	Shards    int    `json:"shards"`
 }
 
 // DefaultCapacity is the total entry budget used when New is given a
@@ -74,11 +81,15 @@ const DefaultCapacity = 4096
 // shard count. Must be a power of two.
 const DefaultShards = 16
 
-// call is an in-flight computation shared by concurrent requesters.
+// call is an in-flight computation shared by concurrent requesters. waiters
+// counts the requests currently parked on done (guarded by shard.mu); the
+// last waiter to abandon cancels the detached solve via cancel.
 type call struct {
-	done chan struct{}
-	val  []Entry
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     []Entry
+	err     error
 }
 
 // cacheEntry is one resident LRU slot.
@@ -177,7 +188,16 @@ func (c *Cache) Lookup(key Key) ([]Entry, bool) {
 // The second return reports whether the value was served without running
 // compute in this request (resident hit or piggyback) — the serving layer's
 // cache-status header. Errors are not cached; a later Get retries.
-func (c *Cache) Get(key Key, compute ComputeFunc) ([]Entry, bool, error) {
+//
+// Cancellation semantics match rankcache: ctx bounds this request's wait,
+// not the solve. The compute runs in its own goroutine under a context
+// detached from every requester, so one cancelled waiter abandons with
+// ctx.Err() while the solve keeps running for the others; only the last
+// waiter out cancels the detached solve.
+func (c *Cache) Get(ctx context.Context, key Key, compute ComputeFunc) ([]Entry, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h := hashKey(key)
 	s := c.shardFor(h)
 	s.mu.Lock()
@@ -190,41 +210,74 @@ func (c *Cache) Get(key Key, compute ComputeFunc) ([]Entry, bool, error) {
 		return val, true, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
+		cl.waiters++
 		s.stats.Shared++
 		s.mu.Unlock()
-		<-cl.done
-		return cl.val, true, cl.err
+		return s.wait(ctx, key, cl, true)
 	}
-	cl := &call{done: make(chan struct{})}
+	solveCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.inflight[key] = cl
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	// A panicking compute must not poison the key: waiters are parked on
-	// cl.done and future Gets would block on the stale inflight entry
-	// forever. Convert the panic into an error for the waiters, release
-	// them, then re-panic in the leader.
-	defer func() {
-		if r := recover(); r != nil {
-			cl.err = fmt.Errorf("pprcache: compute for %q panicked: %v", key, r)
+	go func() {
+		// A panicking compute must not poison the key: waiters are parked
+		// on cl.done and future Gets would block on the stale inflight
+		// entry forever. The panic becomes an error delivered to every
+		// waiter (it cannot re-raise on a requester's stack — the leader
+		// may already be gone).
+		defer func() {
+			if r := recover(); r != nil {
+				cl.err = fmt.Errorf("pprcache: compute for %q panicked: %v", key, r)
+			}
 			s.finish(key, h, cl)
-			panic(r)
-		}
+		}()
+		cl.val, cl.err = compute(solveCtx)
 	}()
-	cl.val, cl.err = compute()
-	s.finish(key, h, cl)
-	return cl.val, false, cl.err
+	return s.wait(ctx, key, cl, false)
+}
+
+// wait parks one requester on an in-flight call until the solve finishes or
+// the requester's own context is done, whichever is first.
+func (s *shard) wait(ctx context.Context, key Key, cl *call, piggyback bool) ([]Entry, bool, error) {
+	select {
+	case <-cl.done:
+		return cl.val, piggyback, cl.err
+	case <-ctx.Done():
+		s.abandon(key, cl)
+		return nil, false, ctx.Err()
+	}
+}
+
+// abandon drops one waiter from an in-flight call. The last waiter out
+// cancels the detached solve and retires the inflight entry so a later Get
+// starts fresh instead of joining a doomed flight.
+func (s *shard) abandon(key Key, cl *call) {
+	s.mu.Lock()
+	cl.waiters--
+	if cl.waiters == 0 && s.inflight[key] == cl {
+		delete(s.inflight, key)
+		s.stats.Abandoned++
+		cl.cancel()
+	}
+	s.mu.Unlock()
 }
 
 // finish publishes a completed in-flight call: runs the admission decision
-// on success, releases the waiters, and retires the inflight entry.
+// on success, releases the waiters, and retires the inflight entry. The
+// identity check guards against a fully-abandoned flight whose slot has
+// already been retired (and possibly re-occupied by a fresh call).
 func (s *shard) finish(key Key, h uint64, cl *call) {
 	s.mu.Lock()
-	delete(s.inflight, key)
+	if s.inflight[key] == cl {
+		delete(s.inflight, key)
+	}
 	if cl.err == nil {
 		s.admit(key, h, cl.val)
 	}
 	s.mu.Unlock()
+	cl.cancel()
 	close(cl.done)
 }
 

@@ -1,11 +1,14 @@
 package pprcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func entriesFor(seed int) []Entry {
@@ -14,7 +17,7 @@ func entriesFor(seed int) []Entry {
 
 func mustGet(t *testing.T, c *Cache, key Key, seed int) ([]Entry, bool) {
 	t.Helper()
-	val, cached, err := c.Get(key, func() ([]Entry, error) { return entriesFor(seed), nil })
+	val, cached, err := c.Get(context.Background(), key, func(context.Context) ([]Entry, error) { return entriesFor(seed), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestGetCachesAndReportsStatus(t *testing.T) {
 func TestErrorsAreNotCached(t *testing.T) {
 	c := New(8, 1)
 	boom := errors.New("boom")
-	if _, _, err := c.Get("a", func() ([]Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Get(context.Background(), "a", func(context.Context) ([]Entry, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if c.Len() != 0 {
@@ -104,7 +107,7 @@ func TestNewlyHotKeyEarnsAdmission(t *testing.T) {
 	mustGet(t, c, "old0", 0)
 	mustGet(t, c, "old1", 1)
 	for i := 0; i < 20; i++ {
-		c.Get("riser", func() ([]Entry, error) { return entriesFor(9), nil })
+		c.Get(context.Background(), "riser", func(context.Context) ([]Entry, error) { return entriesFor(9), nil })
 	}
 	if _, ok := c.Lookup("riser"); !ok {
 		t.Error("recurring key never admitted over idle residents")
@@ -157,7 +160,7 @@ func TestSingleflightSharesOneCompute(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			val, cached, err := c.Get("shared", func() ([]Entry, error) {
+			val, cached, err := c.Get(context.Background(), "shared", func(context.Context) ([]Entry, error) {
 				computes.Add(1)
 				<-release
 				return entriesFor(42), nil
@@ -196,17 +199,98 @@ func TestSingleflightSharesOneCompute(t *testing.T) {
 
 func TestPanicDoesNotPoisonKey(t *testing.T) {
 	c := New(8, 1)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("leader panic must propagate")
-			}
-		}()
-		c.Get("p", func() ([]Entry, error) { panic("kaboom") })
-	}()
+	// The compute runs detached from any single requester, so a panic cannot
+	// be re-raised on a caller's goroutine; it surfaces as an error instead.
+	_, _, err := c.Get(context.Background(), "p", func(context.Context) ([]Entry, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic must surface as an error, got %v", err)
+	}
 	// The key must not deadlock or stay poisoned.
 	if _, cached := mustGet(t, c, "p", 5); cached {
 		t.Error("post-panic Get must recompute")
+	}
+}
+
+// TestCancelledWaiterDoesNotFailSiblings: a requester abandoning an in-flight
+// push gets its own ctx error while the remaining waiter still receives the
+// computed rows.
+func TestCancelledWaiterDoesNotFailSiblings(t *testing.T) {
+	c := New(8, 1)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(ctx context.Context) ([]Entry, error) {
+		close(entered)
+		<-release
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return entriesFor(42), nil
+	}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(leaderCtx, "k", compute)
+		leaderErr <- err
+	}()
+	<-entered
+	siblingErr := make(chan error, 1)
+	siblingVal := make(chan []Entry, 1)
+	go func() {
+		v, _, err := c.Get(context.Background(), "k", compute)
+		siblingVal <- v
+		siblingErr <- err
+	}()
+	for c.Stats().Shared == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter: want Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	close(release)
+	if err := <-siblingErr; err != nil {
+		t.Fatalf("sibling must get the result, got %v", err)
+	}
+	if v := <-siblingVal; len(v) == 0 || v[0].Node != 42 {
+		t.Fatalf("sibling value = %v", v)
+	}
+}
+
+// TestAllWaitersGoneCancelsSolve: the detached compute context is cancelled
+// once every requester has walked away, so an abandoned push can stop.
+func TestAllWaitersGoneCancelsSolve(t *testing.T) {
+	c := New(8, 1)
+	entered := make(chan struct{})
+	cancelled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, "k", func(ctx context.Context) ([]Entry, error) {
+			close(entered)
+			<-ctx.Done()
+			close(cancelled)
+			return nil, ctx.Err()
+		})
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context never cancelled after the last waiter left")
+	}
+	// The key is immediately retryable.
+	if _, cached := mustGet(t, c, "k", 3); cached {
+		t.Error("retry after abandon must recompute")
 	}
 }
 
@@ -244,7 +328,7 @@ func TestConcurrentMixedTraffic(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				key := Key(fmt.Sprintf("k%d", (w*7+i)%48))
 				seed := i
-				if _, _, err := c.Get(key, func() ([]Entry, error) { return entriesFor(seed), nil }); err != nil {
+				if _, _, err := c.Get(context.Background(), key, func(context.Context) ([]Entry, error) { return entriesFor(seed), nil }); err != nil {
 					t.Error(err)
 					return
 				}

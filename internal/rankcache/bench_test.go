@@ -6,6 +6,7 @@
 package rankcache
 
 import (
+	"context"
 	"testing"
 
 	"d2pr/internal/core"
@@ -21,7 +22,7 @@ func coldSolve(b *testing.B) ([]float64, ComputeFunc) {
 		b.Fatal(err)
 	}
 	g := d.Weighted
-	compute := func() ([]float64, error) {
+	compute := func(context.Context) ([]float64, error) {
 		t, err := core.Blended(g, 0.5, 0)
 		if err != nil {
 			return nil, err
@@ -32,7 +33,7 @@ func coldSolve(b *testing.B) ([]float64, ComputeFunc) {
 		}
 		return res.Scores, nil
 	}
-	scores, err := compute()
+	scores, err := compute(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func BenchmarkColdSolve(b *testing.B) {
 	_, compute := coldSolve(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := compute(); err != nil {
+		if _, err := compute(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -59,12 +60,12 @@ func BenchmarkWarmCacheHit(b *testing.B) {
 	_, compute := coldSolve(b)
 	c := New(4)
 	key := NewKey("imdb-actor-actor", "d2pr", 0.5, 0, core.Options{}.CacheKey())
-	if _, err := c.Get(key, compute); err != nil {
+	if _, _, err := c.Get(context.Background(), key, compute); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Get(key, compute); err != nil {
+		if _, _, err := c.Get(context.Background(), key, compute); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ package rankcache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -32,14 +33,21 @@ func NewKey(graphName, algo string, p, beta float64, optsKey string) Key {
 	return Key(b.String())
 }
 
-// ComputeFunc produces the score vector for a key on a cache miss.
-type ComputeFunc func() ([]float64, error)
+// ComputeFunc produces the score vector for a key on a cache miss. The
+// context is the solve context: detached from any single requester's
+// lifetime, cancelled only when every waiter for the key has abandoned the
+// flight (see Get).
+type ComputeFunc func(ctx context.Context) ([]float64, error)
 
-// call is an in-flight computation shared by concurrent requesters.
+// call is an in-flight computation shared by concurrent requesters. waiters
+// counts the requests currently parked on done (guarded by Cache.mu); the
+// last waiter to abandon cancels the detached solve via cancel.
 type call struct {
-	done chan struct{}
-	val  []float64
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     []float64
+	err     error
 }
 
 // cacheEntry is one resident LRU slot.
@@ -56,17 +64,29 @@ type Stats struct {
 	// Shared counts requests that piggybacked on another request's
 	// in-flight solve (single-flight deduplication).
 	Shared uint64 `json:"shared"`
-	Len    int    `json:"len"`
-	Cap    int    `json:"cap"`
+	// Abandoned counts in-flight solves cancelled because every waiter gave
+	// up (request cancellation / deadline) before the solve finished.
+	Abandoned uint64 `json:"abandoned"`
+	// StaleHits counts requests served from the stale tier — evicted
+	// vectors retained for degraded service under load shedding.
+	StaleHits uint64 `json:"stale_hits"`
+	Len       int    `json:"len"`
+	Cap       int    `json:"cap"`
+	StaleLen  int    `json:"stale_len"`
 }
 
 // Cache is a concurrency-safe LRU of score vectors with single-flight
-// computation. The zero value is not usable; call New.
+// computation and a stale tier: vectors evicted from the resident LRU are
+// retained in a second bounded LRU so the serving layer can prefer a
+// slightly-old score over shedding a request when the compute budget is
+// exhausted (see LookupStale). The zero value is not usable; call New.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	index    map[Key]*list.Element
+	stale    *list.List // evicted-but-retained vectors, same discipline
+	staleIdx map[Key]*list.Element
 	inflight map[Key]*call
 	stats    Stats
 }
@@ -85,6 +105,8 @@ func New(capacity int) *Cache {
 		capacity: capacity,
 		lru:      list.New(),
 		index:    map[Key]*list.Element{},
+		stale:    list.New(),
+		staleIdx: map[Key]*list.Element{},
 		inflight: map[Key]*call{},
 	}
 }
@@ -103,59 +125,111 @@ func (c *Cache) Lookup(key Key) ([]float64, bool) {
 
 // Get returns the scores for key, computing them with compute on a miss.
 // Concurrent Gets for the same key share one compute call (single-flight);
-// the piggybacking callers block until the leader finishes. Errors are not
-// cached — a later Get retries the computation.
-func (c *Cache) Get(key Key, compute ComputeFunc) ([]float64, error) {
+// the piggybacking callers block until the flight finishes. The second
+// return reports whether the value was served without running compute in
+// this request (resident hit or piggyback) — the serving layer's
+// cache-status header. Errors are not cached; a later Get retries.
+//
+// Cancellation semantics: ctx bounds this request's wait, not the solve.
+// The compute runs in its own goroutine under a context detached from every
+// requester (context.WithoutCancel), so one cancelled waiter abandons its
+// wait with ctx.Err() while the solve keeps running for the others — and
+// the finished vector is still cached for future requests. Only when the
+// last waiter abandons is the detached solve context cancelled, letting the
+// solver's per-iteration poll stop work nobody is waiting for.
+func (c *Cache) Get(ctx context.Context, key Key, compute ComputeFunc) ([]float64, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	if el, ok := c.index[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		val := el.Value.(*cacheEntry).val
 		c.mu.Unlock()
-		return val, nil
+		return val, true, nil
 	}
 	if cl, ok := c.inflight[key]; ok {
+		cl.waiters++
 		c.stats.Shared++
 		c.mu.Unlock()
-		<-cl.done
-		return cl.val, cl.err
+		return c.wait(ctx, key, cl, true)
 	}
-	cl := &call{done: make(chan struct{})}
+	solveCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl := &call{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.inflight[key] = cl
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	// A panicking compute must not poison the key: waiters are parked on
-	// cl.done and future Gets would block on the stale inflight entry
-	// forever. Convert the panic into an error for the waiters, release
-	// them, then re-panic in the leader.
-	defer func() {
-		if r := recover(); r != nil {
-			cl.err = fmt.Errorf("rankcache: compute for %q panicked: %v", key, r)
+	go func() {
+		// A panicking compute must not poison the key: waiters are parked
+		// on cl.done and future Gets would block on the stale inflight
+		// entry forever. The panic becomes an error delivered to every
+		// waiter (it cannot re-raise on a requester's stack — the leader
+		// may already be gone).
+		defer func() {
+			if r := recover(); r != nil {
+				cl.err = fmt.Errorf("rankcache: compute for %q panicked: %v", key, r)
+			}
 			c.finish(key, cl)
-			panic(r)
-		}
+		}()
+		cl.val, cl.err = compute(solveCtx)
 	}()
-	cl.val, cl.err = compute()
-	c.finish(key, cl)
-	return cl.val, cl.err
+	return c.wait(ctx, key, cl, false)
+}
+
+// wait parks one requester on an in-flight call until the solve finishes or
+// the requester's own context is done, whichever is first.
+func (c *Cache) wait(ctx context.Context, key Key, cl *call, piggyback bool) ([]float64, bool, error) {
+	select {
+	case <-cl.done:
+		return cl.val, piggyback, cl.err
+	case <-ctx.Done():
+		c.abandon(key, cl)
+		return nil, false, ctx.Err()
+	}
+}
+
+// abandon drops one waiter from an in-flight call. The last waiter out
+// cancels the detached solve and retires the inflight entry so a later Get
+// starts fresh instead of joining a doomed flight.
+func (c *Cache) abandon(key Key, cl *call) {
+	c.mu.Lock()
+	cl.waiters--
+	if cl.waiters == 0 && c.inflight[key] == cl {
+		delete(c.inflight, key)
+		c.stats.Abandoned++
+		cl.cancel()
+	}
+	c.mu.Unlock()
 }
 
 // finish publishes a completed in-flight call: stores the value on success,
-// releases the waiters, and retires the inflight entry.
+// releases the waiters, and retires the inflight entry. The identity check
+// guards against a fully-abandoned flight whose slot has already been
+// retired (and possibly re-occupied by a fresh call for the same key).
 func (c *Cache) finish(key Key, cl *call) {
 	c.mu.Lock()
-	delete(c.inflight, key)
+	if c.inflight[key] == cl {
+		delete(c.inflight, key)
+	}
 	if cl.err == nil {
 		c.insert(key, cl.val)
 	}
 	c.mu.Unlock()
+	cl.cancel()
 	close(cl.done)
 }
 
 // insert adds a computed value and evicts from the LRU tail past capacity.
-// Callers hold c.mu.
+// Evicted entries demote to the stale tier instead of vanishing. Callers
+// hold c.mu.
 func (c *Cache) insert(key Key, val []float64) {
+	// A fresh value supersedes any stale copy of the same key.
+	if el, ok := c.staleIdx[key]; ok {
+		c.stale.Remove(el)
+		delete(c.staleIdx, key)
+	}
 	if el, ok := c.index[key]; ok {
 		// A concurrent leader for the same key already inserted; refresh.
 		c.lru.MoveToFront(el)
@@ -166,9 +240,42 @@ func (c *Cache) insert(key Key, val []float64) {
 	for c.lru.Len() > c.capacity {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
-		delete(c.index, tail.Value.(*cacheEntry).key)
+		ent := tail.Value.(*cacheEntry)
+		delete(c.index, ent.key)
 		c.stats.Evictions++
+		c.demote(ent)
 	}
+}
+
+// demote retains an evicted entry in the bounded stale tier. Callers hold
+// c.mu.
+func (c *Cache) demote(ent *cacheEntry) {
+	if el, ok := c.staleIdx[ent.key]; ok {
+		c.stale.MoveToFront(el)
+		el.Value.(*cacheEntry).val = ent.val
+		return
+	}
+	c.staleIdx[ent.key] = c.stale.PushFront(ent)
+	for c.stale.Len() > c.capacity {
+		tail := c.stale.Back()
+		c.stale.Remove(tail)
+		delete(c.staleIdx, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// LookupStale returns the retained copy of a vector that has been evicted
+// from the resident tier. The serving layer consults it only when admission
+// control would otherwise shed the request: a slightly-old score beats a
+// 429. It never computes and never touches the resident LRU.
+func (c *Cache) LookupStale(key Key) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.staleIdx[key]; ok {
+		c.stale.MoveToFront(el)
+		c.stats.StaleHits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	return nil, false
 }
 
 // Len returns the number of resident score vectors.
@@ -197,6 +304,7 @@ func (c *Cache) Stats() Stats {
 	st := c.stats
 	st.Len = c.lru.Len()
 	st.Cap = c.capacity
+	st.StaleLen = c.stale.Len()
 	return st
 }
 
@@ -226,7 +334,7 @@ func (c *Cache) Warm(jobs []Job, parallelism int) <-chan struct{} {
 				if _, ok := c.Lookup(j.Key); ok {
 					continue
 				}
-				_, _ = c.Get(j.Key, j.Compute)
+				_, _, _ = c.Get(context.Background(), j.Key, j.Compute)
 			}
 		}()
 	}

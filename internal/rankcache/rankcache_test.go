@@ -1,8 +1,10 @@
 package rankcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,7 +12,14 @@ import (
 )
 
 func constant(v float64) ComputeFunc {
-	return func() ([]float64, error) { return []float64{v}, nil }
+	return func(context.Context) ([]float64, error) { return []float64{v}, nil }
+}
+
+// get is the test shorthand for the common case: background context, cached
+// flag ignored.
+func get(c *Cache, key Key, compute ComputeFunc) ([]float64, error) {
+	v, _, err := c.Get(context.Background(), key, compute)
+	return v, err
 }
 
 func TestNewKeyCanonical(t *testing.T) {
@@ -35,14 +44,17 @@ func TestNewKeyCanonical(t *testing.T) {
 func TestGetComputesOnceAndCaches(t *testing.T) {
 	c := New(4)
 	var calls int32
-	compute := func() ([]float64, error) {
+	compute := func(context.Context) ([]float64, error) {
 		atomic.AddInt32(&calls, 1)
 		return []float64{42}, nil
 	}
 	for i := 0; i < 5; i++ {
-		v, err := c.Get("k", compute)
+		v, cached, err := c.Get(context.Background(), "k", compute)
 		if err != nil || v[0] != 42 {
 			t.Fatalf("get: %v %v", v, err)
+		}
+		if cached != (i > 0) {
+			t.Errorf("get %d: cached = %v", i, cached)
 		}
 	}
 	if calls != 1 {
@@ -57,13 +69,13 @@ func TestGetComputesOnceAndCaches(t *testing.T) {
 func TestLRUEvictionOrder(t *testing.T) {
 	c := New(3)
 	for i := 1; i <= 3; i++ {
-		c.Get(Key(fmt.Sprintf("k%d", i)), constant(float64(i)))
+		get(c, Key(fmt.Sprintf("k%d", i)), constant(float64(i)))
 	}
 	// Touch k1 so k2 becomes the least recently used.
 	if _, ok := c.Lookup("k1"); !ok {
 		t.Fatal("k1 must be resident")
 	}
-	c.Get("k4", constant(4)) // evicts k2
+	get(c, "k4", constant(4)) // evicts k2
 	if _, ok := c.Lookup("k2"); ok {
 		t.Error("k2 must have been evicted (LRU)")
 	}
@@ -85,15 +97,47 @@ func TestLRUEvictionOrder(t *testing.T) {
 func TestEvictedKeyRecomputes(t *testing.T) {
 	c := New(1)
 	var calls int32
-	compute := func() ([]float64, error) {
+	compute := func(context.Context) ([]float64, error) {
 		atomic.AddInt32(&calls, 1)
 		return []float64{1}, nil
 	}
-	c.Get("a", compute)
-	c.Get("b", constant(2)) // evicts a
-	c.Get("a", compute)
+	get(c, "a", compute)
+	get(c, "b", constant(2)) // evicts a
+	get(c, "a", compute)
 	if calls != 2 {
 		t.Errorf("compute ran %d times, want 2 (recompute after eviction)", calls)
+	}
+}
+
+// TestStaleTierServesEvicted: an evicted entry is demoted to the stale tier
+// and stays retrievable via LookupStale until the key is refreshed or the
+// stale tier itself overflows.
+func TestStaleTierServesEvicted(t *testing.T) {
+	c := New(1)
+	get(c, "a", constant(1))
+	get(c, "b", constant(2)) // evicts a → stale tier
+	if v, ok := c.LookupStale("a"); !ok || v[0] != 1 {
+		t.Fatalf("evicted key not in stale tier: %v %v", v, ok)
+	}
+	if _, ok := c.LookupStale("b"); ok {
+		t.Error("resident key must not be stale")
+	}
+	// A fresh recompute of "a" drops the stale copy.
+	get(c, "a", constant(10))
+	if _, ok := c.LookupStale("a"); ok {
+		t.Error("fresh insert must remove the stale copy")
+	}
+	st := c.Stats()
+	if st.StaleHits != 1 {
+		t.Errorf("stale hits = %d, want 1", st.StaleHits)
+	}
+	// The stale tier is bounded at the cache capacity: churning many keys
+	// through a capacity-1 cache leaves at most one stale entry.
+	for i := 0; i < 8; i++ {
+		get(c, Key(fmt.Sprintf("churn%d", i)), constant(float64(i)))
+	}
+	if st := c.Stats(); st.StaleLen > 1 {
+		t.Errorf("stale tier grew past capacity: %+v", st)
 	}
 }
 
@@ -102,7 +146,7 @@ func TestSingleFlight(t *testing.T) {
 	c := New(4)
 	var calls int32
 	release := make(chan struct{})
-	compute := func() ([]float64, error) {
+	compute := func(context.Context) ([]float64, error) {
 		atomic.AddInt32(&calls, 1)
 		<-release // hold every concurrent caller in flight
 		return []float64{7}, nil
@@ -117,7 +161,7 @@ func TestSingleFlight(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			started <- struct{}{}
-			v, err := c.Get("hot", compute)
+			v, err := get(c, "hot", compute)
 			if err != nil {
 				t.Error(err)
 			}
@@ -149,18 +193,123 @@ func TestSingleFlight(t *testing.T) {
 	}
 }
 
+// TestCancelledWaiterDoesNotFailSiblings: one requester abandoning an
+// in-flight solve gets its own ctx error, while the solve keeps running and
+// delivers the result to the remaining waiters.
+func TestCancelledWaiterDoesNotFailSiblings(t *testing.T) {
+	c := New(4)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var sawCancel atomic.Bool
+	compute := func(ctx context.Context) ([]float64, error) {
+		close(entered)
+		<-release
+		if ctx.Err() != nil {
+			sawCancel.Store(true)
+			return nil, ctx.Err()
+		}
+		return []float64{7}, nil
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(leaderCtx, "k", compute)
+		leaderErr <- err
+	}()
+	<-entered
+
+	// A second requester piggybacks with its own, never-cancelled context.
+	siblingVal := make(chan []float64, 1)
+	siblingErr := make(chan error, 1)
+	go func() {
+		v, _, err := c.Get(context.Background(), "k", compute)
+		siblingVal <- v
+		siblingErr <- err
+	}()
+	waitForStat(t, c, func(st Stats) bool { return st.Shared == 1 })
+
+	// The leader walks away; its Get must fail with Canceled promptly...
+	cancelLeader()
+	select {
+	case err := <-leaderErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter: want Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+
+	// ...while the solve is still pending for the sibling.
+	close(release)
+	if err := <-siblingErr; err != nil {
+		t.Fatalf("sibling must get the result, got error %v", err)
+	}
+	if v := <-siblingVal; len(v) != 1 || v[0] != 7 {
+		t.Fatalf("sibling value = %v", v)
+	}
+	if sawCancel.Load() {
+		t.Error("solve context was cancelled while a waiter remained")
+	}
+	// The flight itself was never abandoned — the sibling stayed on it.
+	if st := c.Stats(); st.Abandoned != 0 {
+		t.Errorf("abandoned = %d, want 0", st.Abandoned)
+	}
+	// The finished result is cached for future requests.
+	if v, ok := c.Lookup("k"); !ok || v[0] != 7 {
+		t.Errorf("result not cached after waiter churn: %v %v", v, ok)
+	}
+}
+
+// TestAllWaitersGoneCancelsSolve: once every requester has abandoned the
+// flight, the detached solve context is cancelled so the solver can stop.
+func TestAllWaitersGoneCancelsSolve(t *testing.T) {
+	c := New(4)
+	entered := make(chan struct{})
+	solveCancelled := make(chan struct{})
+	compute := func(ctx context.Context) ([]float64, error) {
+		close(entered)
+		<-ctx.Done()
+		close(solveCancelled)
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, "k", compute)
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	select {
+	case <-solveCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("solve context never cancelled after the last waiter left")
+	}
+	if st := c.Stats(); st.Abandoned != 1 {
+		t.Errorf("abandoned flights = %d, want 1", st.Abandoned)
+	}
+	// The key is immediately retryable.
+	if v, err := get(c, "k", constant(3)); err != nil || v[0] != 3 {
+		t.Fatalf("retry after abandon: %v %v", v, err)
+	}
+}
+
 func TestErrorsNotCached(t *testing.T) {
 	c := New(4)
 	boom := errors.New("boom")
 	var calls int32
-	failing := func() ([]float64, error) {
+	failing := func(context.Context) ([]float64, error) {
 		atomic.AddInt32(&calls, 1)
 		return nil, boom
 	}
-	if _, err := c.Get("k", failing); !errors.Is(err, boom) {
+	if _, err := get(c, "k", failing); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := c.Get("k", failing); !errors.Is(err, boom) {
+	if _, err := get(c, "k", failing); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if calls != 2 {
@@ -171,23 +320,21 @@ func TestErrorsNotCached(t *testing.T) {
 	}
 }
 
-// TestPanicDoesNotPoisonKey: a panicking compute must release waiters and
-// leave the key retryable — not park every future Get on a dead in-flight
-// entry.
+// TestPanicDoesNotPoisonKey: a panicking compute must surface as an error to
+// every waiter and leave the key retryable — not park every future Get on a
+// dead in-flight entry. (The compute runs detached from any single requester,
+// so the panic cannot be re-raised on a caller's goroutine; it is delivered
+// as an error instead.)
 func TestPanicDoesNotPoisonKey(t *testing.T) {
 	c := New(4)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("leader must re-panic")
-			}
-		}()
-		c.Get("k", func() ([]float64, error) { panic("kaboom") })
-	}()
+	_, err := get(c, "k", func(context.Context) ([]float64, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic must surface as an error, got %v", err)
+	}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		v, err := c.Get("k", constant(1))
+		v, err := get(c, "k", constant(1))
 		if err != nil || v[0] != 1 {
 			t.Errorf("retry after panic: %v %v", v, err)
 		}
@@ -209,14 +356,14 @@ func TestWarm(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		jobs = append(jobs, Job{
 			Key: Key(fmt.Sprintf("w%d", i)),
-			Compute: func() ([]float64, error) {
+			Compute: func(context.Context) ([]float64, error) {
 				atomic.AddInt32(&calls, 1)
 				return []float64{1}, nil
 			},
 		})
 	}
 	// Duplicate job for an already-warm key must be skipped.
-	c.Get("w0", constant(0))
+	get(c, "w0", constant(0))
 	<-c.Warm(jobs, 3)
 	if calls != 7 {
 		t.Errorf("warm computed %d entries, want 7 (w0 already resident)", calls)
@@ -230,5 +377,16 @@ func TestDefaultCapacity(t *testing.T) {
 	c := New(0)
 	if got := c.Stats().Cap; got != DefaultCapacity {
 		t.Errorf("cap = %d, want %d", got, DefaultCapacity)
+	}
+}
+
+func waitForStat(t *testing.T, c *Cache, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(c.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -1,6 +1,7 @@
 package rankcache
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -32,7 +33,7 @@ func TestStressSingleflightNoEviction(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				k := rng.Intn(keySpace)
 				key := NewKey("stress", "algo", float64(k), 0, "")
-				val, err := c.Get(key, func() ([]float64, error) {
+				val, _, err := c.Get(context.Background(), key, func(context.Context) ([]float64, error) {
 					computes[k].Add(1)
 					// Widen the race window so concurrent misses overlap.
 					time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
@@ -92,7 +93,7 @@ func TestStressSingleflightWithEvictions(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				k := rng.Intn(keySpace)
 				key := NewKey("evict", "algo", float64(k), 0, "")
-				val, err := c.Get(key, func() ([]float64, error) {
+				val, _, err := c.Get(context.Background(), key, func(context.Context) ([]float64, error) {
 					if inflight[k].Add(1) != 1 {
 						overlaps.Add(1)
 					}
@@ -148,7 +149,7 @@ func TestStressErrorsDoNotPoison(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				k := rng.Intn(keySpace)
 				key := NewKey("err", "algo", float64(k), 0, "")
-				val, err := c.Get(key, func() ([]float64, error) {
+				val, _, err := c.Get(context.Background(), key, func(context.Context) ([]float64, error) {
 					// Fail the first few computes of every key, then succeed.
 					if flips[k].Add(1) <= 2 {
 						return nil, fmt.Errorf("transient failure for %d", k)
@@ -167,7 +168,7 @@ func TestStressErrorsDoNotPoison(t *testing.T) {
 	// After the dust settles every key must be computable.
 	for k := 0; k < keySpace; k++ {
 		key := NewKey("err", "algo", float64(k), 0, "")
-		val, err := c.Get(key, func() ([]float64, error) {
+		val, _, err := c.Get(context.Background(), key, func(context.Context) ([]float64, error) {
 			return []float64{float64(k)}, nil
 		})
 		if err != nil || val[0] != float64(k) {

@@ -1,6 +1,7 @@
 package rankspec
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -51,6 +52,15 @@ func (s PPRSpec) Validate(numNodes int) error {
 	if s.Seed < 0 || (numNodes >= 0 && int(s.Seed) >= numNodes) {
 		return fmt.Errorf("seed %d out of range", s.Seed)
 	}
+	// Explicit non-finite rejection: the range comparisons below are all
+	// false for NaN, so eps=NaN would otherwise pass validation, poison the
+	// cache key ("e=NaN"), and cache a garbage top-k forever.
+	if !isFinite(s.Alpha) {
+		return fmt.Errorf("alpha %v is not finite", s.Alpha)
+	}
+	if !isFinite(s.Epsilon) {
+		return fmt.Errorf("eps %v is not finite", s.Epsilon)
+	}
 	if s.Alpha <= 0 || s.Alpha >= 1 {
 		return fmt.Errorf("alpha %v out of (0, 1)", s.Alpha)
 	}
@@ -79,10 +89,11 @@ func (s PPRSpec) CacheKey() pprcache.Key {
 // topology, the 1/outdeg table, and (for weighted graphs) the
 // connection-strength transition are all shared with every other serving
 // path — so a cache miss pays only the push itself plus the O(n + k·log k)
-// top-k selection.
-func (s PPRSpec) Compute(snap *registry.Snapshot) ([]pprcache.Entry, error) {
+// top-k selection. ctx bounds the solve: the push loop polls it
+// periodically and aborts with the context's error.
+func (s PPRSpec) Compute(ctx context.Context, snap *registry.Snapshot) ([]pprcache.Entry, error) {
 	e := snap.Engine()
-	res, err := e.SolvePPR(e.Connection(), s.Seed, core.ForwardPushOptions{
+	res, err := e.SolvePPRContext(ctx, e.Connection(), s.Seed, core.ForwardPushOptions{
 		Alpha:   s.Alpha,
 		Epsilon: s.Epsilon,
 	})

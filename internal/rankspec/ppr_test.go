@@ -1,6 +1,7 @@
 package rankspec
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,6 +22,11 @@ func TestPPRValidate(t *testing.T) {
 		{"alpha one", func(s *PPRSpec) { s.Alpha = 1 }, false},
 		{"eps zero", func(s *PPRSpec) { s.Epsilon = 0 }, false},
 		{"eps too coarse", func(s *PPRSpec) { s.Epsilon = 0.5 }, false},
+		{"alpha NaN", func(s *PPRSpec) { s.Alpha = math.NaN() }, false},
+		{"alpha +Inf", func(s *PPRSpec) { s.Alpha = math.Inf(1) }, false},
+		{"alpha -Inf", func(s *PPRSpec) { s.Alpha = math.Inf(-1) }, false},
+		{"eps NaN", func(s *PPRSpec) { s.Epsilon = math.NaN() }, false},
+		{"eps Inf", func(s *PPRSpec) { s.Epsilon = math.Inf(1) }, false},
 		{"k zero", func(s *PPRSpec) { s.K = 0 }, false},
 		{"k over cap", func(s *PPRSpec) { s.K = MaxPPRK + 1 }, false},
 		{"k at cap", func(s *PPRSpec) { s.K = MaxPPRK }, true},
@@ -72,7 +78,7 @@ func TestPPRComputeMatchesSolver(t *testing.T) {
 	snap := testSnapshot(t)
 	spec := NewPPR("t", 0)
 	spec.K = 3
-	rows, err := spec.Compute(snap)
+	rows, err := spec.Compute(context.Background(), snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +112,7 @@ func TestPPRComputeDropsZeroTail(t *testing.T) {
 	snap := testSnapshot(t)
 	spec := NewPPR("t", 5)
 	spec.K = MaxPPRK // far beyond the 6-node graph
-	rows, err := spec.Compute(snap)
+	rows, err := spec.Compute(context.Background(), snap)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +130,7 @@ func TestPPREntriesExpansion(t *testing.T) {
 	snap := testSnapshot(t)
 	spec := NewPPR("t", 0)
 	spec.K = 4
-	rows, err := spec.Compute(snap)
+	rows, err := spec.Compute(context.Background(), snap)
 	if err != nil {
 		t.Fatal(err)
 	}

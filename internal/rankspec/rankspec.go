@@ -8,7 +8,9 @@
 package rankspec
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"sync"
@@ -56,6 +58,19 @@ func (s Spec) Validate(numNodes int) error {
 	case AlgoD2PR, AlgoPageRank, AlgoHITS, AlgoDegree:
 	default:
 		return fmt.Errorf("unknown algo %q (want %s)", s.Algo, strings.Join(Algos(), "|"))
+	}
+	// Non-finite parameters must be rejected explicitly: every range
+	// comparison below is false for NaN, so without these checks alpha=NaN
+	// sails through, poisons the cache key ("a=NaN"), and caches a NaN
+	// score vector forever.
+	if !isFinite(s.Alpha) {
+		return fmt.Errorf("alpha %v is not finite", s.Alpha)
+	}
+	if !isFinite(s.Beta) {
+		return fmt.Errorf("beta %v is not finite", s.Beta)
+	}
+	if !isFinite(s.P) {
+		return fmt.Errorf("p %v is not finite", s.P)
 	}
 	if s.Alpha <= 0 || s.Alpha >= 1 {
 		return fmt.Errorf("alpha %v out of (0, 1)", s.Alpha)
@@ -117,10 +132,18 @@ func (s Spec) CacheKey() rankcache.Key {
 	return rankcache.NewKey(s.Graph, s.Algo, p, beta, optsKey)
 }
 
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
 // Compute runs the configured algorithm on the snapshot's graph. Power-
 // iteration algorithms run through the snapshot's cached engine, so a cache
-// miss re-solves but never re-transposes the graph.
-func (s Spec) Compute(snap *registry.Snapshot) ([]float64, error) {
+// miss re-solves but never re-transposes the graph. ctx bounds the solve:
+// power-iteration algorithms poll it once per iteration and abort with the
+// context's error (HITS and degree centrality ignore it — the former is an
+// ablation path, the latter is O(n) and cheaper than a solve iteration).
+func (s Spec) Compute(ctx context.Context, snap *registry.Snapshot) ([]float64, error) {
 	g := snap.Graph
 	opts := s.Options(g.NumNodes())
 	switch s.Algo {
@@ -129,13 +152,13 @@ func (s Spec) Compute(snap *registry.Snapshot) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := snap.Engine().Solve(t, opts)
+		res, err := snap.Engine().SolveContext(ctx, t, opts)
 		if err != nil {
 			return nil, err
 		}
 		return res.Scores, nil
 	case AlgoPageRank:
-		res, err := snap.Engine().Solve(core.ConnectionStrength(g), opts)
+		res, err := snap.Engine().SolveContext(ctx, core.ConnectionStrength(g), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -176,13 +199,14 @@ func (c *Computer) Snapshot() *registry.Snapshot { return c.snap }
 
 // Compute evaluates one spec, routing d2pr through the shared sweep solver
 // (built over the snapshot's cached engine, so the sweep and every other
-// serving path share one pull topology).
-func (c *Computer) Compute(spec Spec) ([]float64, error) {
+// serving path share one pull topology). ctx bounds the solve as in
+// Spec.Compute.
+func (c *Computer) Compute(ctx context.Context, spec Spec) ([]float64, error) {
 	if spec.Algo != AlgoD2PR {
-		return spec.Compute(c.snap)
+		return spec.Compute(ctx, c.snap)
 	}
 	c.once.Do(func() { c.sweep = core.NewSweepSolverFor(c.snap.Engine()) })
-	res, err := c.sweep.Solve(spec.P, spec.Beta, spec.Options(c.snap.Graph.NumNodes()))
+	res, err := c.sweep.SolveContext(ctx, spec.P, spec.Beta, spec.Options(c.snap.Graph.NumNodes()))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package rankspec
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"d2pr/internal/graph"
@@ -30,6 +32,14 @@ func TestValidate(t *testing.T) {
 		{"alpha zero", func(s *Spec) { s.Alpha = 0 }, false},
 		{"beta high", func(s *Spec) { s.Beta = 1.5 }, false},
 		{"negative p ok", func(s *Spec) { s.P = -2 }, true},
+		{"alpha NaN", func(s *Spec) { s.Alpha = math.NaN() }, false},
+		{"alpha +Inf", func(s *Spec) { s.Alpha = math.Inf(1) }, false},
+		{"alpha -Inf", func(s *Spec) { s.Alpha = math.Inf(-1) }, false},
+		{"beta NaN", func(s *Spec) { s.Beta = math.NaN() }, false},
+		{"beta Inf", func(s *Spec) { s.Beta = math.Inf(1) }, false},
+		{"p NaN", func(s *Spec) { s.P = math.NaN() }, false},
+		{"p Inf", func(s *Spec) { s.P = math.Inf(1) }, false},
+		{"p -Inf", func(s *Spec) { s.P = math.Inf(-1) }, false},
 		{"seed out of range", func(s *Spec) { s.Seeds = []int32{6} }, false},
 		{"seed in range", func(s *Spec) { s.Seeds = []int32{5} }, true},
 	} {
@@ -98,7 +108,7 @@ func TestComputeAllAlgos(t *testing.T) {
 	for _, algo := range Algos() {
 		spec := New("t")
 		spec.Algo = algo
-		scores, err := spec.Compute(snap)
+		scores, err := spec.Compute(context.Background(), snap)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -108,7 +118,7 @@ func TestComputeAllAlgos(t *testing.T) {
 	}
 	bad := New("t")
 	bad.Algo = "bogus"
-	if _, err := bad.Compute(snap); err == nil {
+	if _, err := bad.Compute(context.Background(), snap); err == nil {
 		t.Error("unknown algo must error")
 	}
 }
@@ -116,7 +126,7 @@ func TestComputeAllAlgos(t *testing.T) {
 func TestTopEntries(t *testing.T) {
 	snap := testSnapshot(t)
 	spec := New("t")
-	scores, err := spec.Compute(snap)
+	scores, err := spec.Compute(context.Background(), snap)
 	if err != nil {
 		t.Fatal(err)
 	}

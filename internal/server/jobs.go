@@ -193,8 +193,17 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	// The request deadline bounds the whole batch: configurations the
+	// deadline keeps from running come back as skipped rows, exactly like a
+	// cancelled async job's.
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	// Share the job manager's semaphore: JobWorkers caps total in-flight
 	// sweep configurations across async jobs AND concurrent batches.
-	results := jobs.RunSync(r.Context(), snap, spec, s.cache, s.jobs.Sem())
+	results := jobs.RunSync(ctx, snap, spec, s.cache, s.jobs.Sem())
 	writeJSON(w, http.StatusOK, BatchResponse{Graph: snap.Name, Count: len(results), Results: results})
 }

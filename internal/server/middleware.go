@@ -1,12 +1,15 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"d2pr/internal/admission"
 	"d2pr/internal/jobs"
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankcache"
@@ -19,6 +22,7 @@ type metrics struct {
 	start     time.Time
 	requests  uint64
 	errors    uint64 // responses with status >= 400
+	deadlines uint64 // compute requests that hit their deadline (504s)
 	byPattern map[string]uint64
 	totalWait time.Duration
 }
@@ -46,25 +50,31 @@ type RouteCount struct {
 
 // MetricsResponse is the /metrics response body.
 type MetricsResponse struct {
-	UptimeSeconds  float64         `json:"uptime_seconds"`
-	Requests       uint64          `json:"requests"`
-	Errors         uint64          `json:"errors"`
-	AvgLatencyMs   float64         `json:"avg_latency_ms"`
-	Routes         []RouteCount    `json:"routes"`
-	Cache          rankcache.Stats `json:"cache"`
-	PPRCache       pprcache.Stats  `json:"ppr_cache"`
-	Jobs           jobs.Stats      `json:"jobs"`
-	GraphsLoaded   int             `json:"graphs_loaded"`
-	GraphsRegistry int             `json:"graphs_registered"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Errors        uint64       `json:"errors"`
+	AvgLatencyMs  float64      `json:"avg_latency_ms"`
+	Routes        []RouteCount `json:"routes"`
+	// DeadlineExceeded counts compute requests that ran out of deadline
+	// (504s); Admission carries the shed/queue-depth counters of the
+	// per-graph budgets.
+	DeadlineExceeded uint64          `json:"deadline_exceeded"`
+	Admission        admission.Stats `json:"admission"`
+	Cache            rankcache.Stats `json:"cache"`
+	PPRCache         pprcache.Stats  `json:"ppr_cache"`
+	Jobs             jobs.Stats      `json:"jobs"`
+	GraphsLoaded     int             `json:"graphs_loaded"`
+	GraphsRegistry   int             `json:"graphs_registered"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics
 	m.mu.Lock()
 	resp := MetricsResponse{
-		UptimeSeconds: time.Since(m.start).Seconds(),
-		Requests:      m.requests,
-		Errors:        m.errors,
+		UptimeSeconds:    time.Since(m.start).Seconds(),
+		Requests:         m.requests,
+		Errors:           m.errors,
+		DeadlineExceeded: m.deadlines,
 	}
 	if m.requests > 0 {
 		resp.AvgLatencyMs = m.totalWait.Seconds() * 1000 / float64(m.requests)
@@ -74,6 +84,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 	sort.Slice(resp.Routes, func(a, b int) bool { return resp.Routes[a].Route < resp.Routes[b].Route })
+	resp.Admission = s.adm.Stats()
 	resp.Cache = s.cache.Stats()
 	resp.PPRCache = s.ppr.Stats()
 	resp.Jobs = s.jobs.Stats()
@@ -174,4 +185,35 @@ type errorBody struct {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went away
+// before the response was ready" — nobody reads the body, but the status
+// keeps access logs and metrics honest about why the work stopped.
+const statusClientClosedRequest = 499
+
+// retryAfterSeconds is the Retry-After hint attached to shed (429)
+// responses: solves finish in milliseconds-to-seconds, so a short backoff
+// is enough for a queue slot to open.
+const retryAfterSeconds = "1"
+
+// writeComputeError maps a compute-path failure to its HTTP status: a full
+// admission queue is 429 + Retry-After (the stale-serve fallback has
+// already been tried by scores), an expired deadline 504, a client gone 499,
+// anything else 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, admission.ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.mu.Lock()
+		s.metrics.deadlines++
+		s.metrics.mu.Unlock()
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -81,13 +82,30 @@ func (s *Server) checkPPRSpec(spec rankspec.PPRSpec, snap *registry.Snapshot) er
 // servePPR resolves one personalized request through the PPR cache and
 // writes the response. A warm request touches no solver state: the cached
 // compact rows are expanded to k response entries and encoded — O(k) work
-// and allocation end to end.
-func (s *Server) servePPR(w http.ResponseWriter, snap *registry.Snapshot, spec rankspec.PPRSpec) {
-	rows, cached, err := s.ppr.Get(spec.CacheKey(), func() ([]pprcache.Entry, error) {
-		return spec.Compute(snap)
+// and allocation end to end. Cold requests run under the request deadline
+// and the graph's admission budget (hits and piggybacks are exempt, like
+// /rank); a saturated budget sheds with 429 + Retry-After — the per-seed
+// cache has no stale tier, so there is no degraded fallback here.
+func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry.Snapshot, spec rankspec.PPRSpec) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	rows, cached, err := s.ppr.Get(ctx, spec.CacheKey(), func(solveCtx context.Context) ([]pprcache.Entry, error) {
+		release, aerr := s.adm.Acquire(solveCtx, snap.Name)
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer release()
+		if s.hookSolve != nil {
+			s.hookSolve(snap.Name)
+		}
+		return spec.Compute(solveCtx, snap)
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeComputeError(w, err)
 		return
 	}
 	status := "miss"
@@ -125,7 +143,7 @@ func (s *Server) handlePPRGet(w http.ResponseWriter, r *http.Request) {
 		writePPRSpecError(w, err)
 		return
 	}
-	s.servePPR(w, snap, spec)
+	s.servePPR(w, r, snap, spec)
 }
 
 // pprBody is the POST /v1/{graph}/ppr request body. Zero-valued parameters
@@ -166,7 +184,7 @@ func (s *Server) handlePPRPost(w http.ResponseWriter, r *http.Request) {
 		writePPRSpecError(w, err)
 		return
 	}
-	s.servePPR(w, snap, spec)
+	s.servePPR(w, r, snap, spec)
 }
 
 // handlePPRBatch submits a seed cohort as an asynchronous job: the response

@@ -48,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"d2pr/internal/admission"
 	"d2pr/internal/core"
 	"d2pr/internal/graph"
 	"d2pr/internal/jobs"
@@ -75,6 +76,21 @@ type Config struct {
 	// PPREps is the forward-push residual threshold applied when a PPR
 	// request omits eps. 0 means core.DefaultPPREpsilon.
 	PPREps float64
+	// MaxConcurrent bounds concurrently-running interactive solves per
+	// graph (admission control; cache hits and piggybacks are exempt).
+	// 0 means admission.DefaultMaxConcurrent.
+	MaxConcurrent int
+	// MaxQueue bounds how many interactive solves may wait for a slot per
+	// graph; past it requests are shed with 429. 0 means
+	// admission.DefaultMaxQueue; negative means no waiting.
+	MaxQueue int
+	// RequestTimeout is the deadline applied to interactive compute
+	// requests that carry no timeout parameter. 0 means no default
+	// deadline.
+	RequestTimeout time.Duration
+	// MaxRequestTimeout caps per-request timeout overrides. 0 means
+	// admission.DefaultMaxTimeout.
+	MaxRequestTimeout time.Duration
 	// Logger receives one line per request when non-nil.
 	Logger *log.Logger
 }
@@ -86,8 +102,14 @@ type Server struct {
 	ppr     *pprcache.Cache
 	pprEps  float64
 	jobs    *jobs.Manager
+	adm     *admission.Controller
 	logger  *log.Logger
 	metrics *metrics
+
+	// hookSolve, when non-nil, runs inside the compute closure after the
+	// admission slot is acquired and before the solve — a test seam for
+	// deterministic budget-saturation tests.
+	hookSolve func(graph string)
 }
 
 // NewMulti creates a Server over a registry. The registry may keep gaining
@@ -107,10 +129,16 @@ func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: ppr eps %v out of (0, 1e-2]", cfg.PPREps)
 	}
 	s := &Server{
-		reg:     reg,
-		cache:   rankcache.New(cfg.CacheSize),
-		ppr:     pprcache.New(cfg.PPRCacheSize, 0),
-		pprEps:  cfg.PPREps,
+		reg:    reg,
+		cache:  rankcache.New(cfg.CacheSize),
+		ppr:    pprcache.New(cfg.PPRCacheSize, 0),
+		pprEps: cfg.PPREps,
+		adm: admission.New(admission.Config{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+			Timeout:       cfg.RequestTimeout,
+			MaxTimeout:    cfg.MaxRequestTimeout,
+		}),
 		logger:  cfg.Logger,
 		metrics: newMetrics(),
 	}
@@ -211,12 +239,12 @@ func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct
 			spec.P, spec.Beta = p, beta
 			warmJobs = append(warmJobs, rankcache.Job{
 				Key: spec.CacheKey(),
-				Compute: func() ([]float64, error) {
+				Compute: func(ctx context.Context) ([]float64, error) {
 					snap, err := s.reg.Get(spec.Graph)
 					if err != nil {
 						return nil, err
 					}
-					return spec.Compute(snap)
+					return spec.Compute(ctx, snap)
 				},
 			})
 		}
@@ -266,12 +294,79 @@ func parseRankQuery(r *http.Request, snap *registry.Snapshot) (rankspec.Spec, er
 	return spec, nil
 }
 
-// scores returns the (cached) score vector for a spec. Concurrent identical
-// requests share one solve via the cache's single-flight path.
-func (s *Server) scores(snap *registry.Snapshot, spec rankspec.Spec) ([]float64, error) {
-	return s.cache.Get(spec.CacheKey(), func() ([]float64, error) {
-		return spec.Compute(snap)
+// cacheHeader reports how a ranking response was served: "hit" (resident
+// entry or a piggybacked in-flight solve), "miss" (fresh solve), or "stale"
+// (an evicted copy served in place of shedding the request).
+const cacheHeader = "X-Cache"
+
+// requestCtx derives a compute request's context: the client's context plus
+// the admission deadline — the -request-timeout default, overridable with a
+// ?timeout= Go duration, capped at -max-request-timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	var override time.Duration
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q (want a positive duration, e.g. 500ms)", v)
+		}
+		override = d
+	}
+	ctx, cancel := s.adm.Deadline(r.Context(), override)
+	return ctx, cancel, nil
+}
+
+// scores returns the score vector for a spec together with its cache status
+// ("hit", "miss", or "stale"). Concurrent identical requests share one solve
+// via the cache's single-flight path; only an actual solve claims one of the
+// graph's admission slots — hits and piggybacks never queue. The slot is
+// acquired under the detached solve context, so queue waiting is abandoned
+// only when every requester for the key is gone. When the budget sheds and
+// an evicted copy of the vector exists, the stale copy is served instead of
+// the error.
+func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec rankspec.Spec) ([]float64, string, error) {
+	key := spec.CacheKey()
+	val, cached, err := s.cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
+		release, aerr := s.adm.Acquire(solveCtx, snap.Name)
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer release()
+		if s.hookSolve != nil {
+			s.hookSolve(snap.Name)
+		}
+		return spec.Compute(solveCtx, snap)
 	})
+	switch {
+	case err == nil && cached:
+		return val, "hit", nil
+	case err == nil:
+		return val, "miss", nil
+	case errors.Is(err, admission.ErrQueueFull):
+		if stale, ok := s.cache.LookupStale(key); ok {
+			return stale, "stale", nil
+		}
+	}
+	return nil, "", err
+}
+
+// rankScores runs the full interactive compute path for a ranking handler:
+// derive the request context, resolve the scores through cache + admission,
+// and map failures to their HTTP status. On success the cache-status header
+// is set and the scores returned; on failure the response has been written.
+func (s *Server) rankScores(w http.ResponseWriter, r *http.Request, snap *registry.Snapshot, spec rankspec.Spec) ([]float64, bool) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	defer cancel()
+	scores, status, err := s.scores(ctx, snap, spec)
+	if err != nil {
+		s.writeComputeError(w, err)
+		return nil, false
+	}
+	w.Header().Set(cacheHeader, status)
+	return scores, true
 }
 
 // snapshot resolves the {graph} path component against the registry.
@@ -364,9 +459,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	scores, err := s.scores(snap, spec)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	scores, ok := s.rankScores(w, r, snap, spec)
+	if !ok {
 		return
 	}
 	resp := RankResponse{Graph: snap.Name, Config: string(spec.CacheKey())}
@@ -396,9 +490,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	scores, err := s.scores(snap, spec)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	scores, ok := s.rankScores(w, r, snap, spec)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, RankResponse{
@@ -433,9 +526,8 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(snap, spec)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	scores, ok := s.rankScores(w, r, snap, spec)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, NodeResponse{
@@ -469,9 +561,8 @@ func (s *Server) handleCorrelate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	scores, err := s.scores(snap, spec)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	scores, ok := s.rankScores(w, r, snap, spec)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, CorrelateResponse{

@@ -15,6 +15,11 @@
 #                      lookup (BenchmarkPPRWarmSeed; must be ≥100× faster)
 #                      and the admission-path mixed-traffic bench.
 #
+# BENCH_core.json also carries BenchmarkCoreSolveCancelOverhead: the warm
+# solve re-run under an (uncancelled) context, whose per-iteration ctx poll
+# must stay within 1% of BenchmarkCoreSolveWarm — the cost of making every
+# solve cancellable.
+#
 # Usage:
 #   scripts/bench.sh                 # default: -benchtime 1s, -count 1
 #   BENCHTIME=5x COUNT=3 scripts/bench.sh
