@@ -47,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers on DefaultServeMux, served only via -pprof
 	"os"
@@ -82,6 +83,8 @@ func main() {
 		pprEps     = flag.Float64("ppr-eps", 0, "default forward-push residual threshold for /ppr (0 = default 1e-7)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 		quiet      = flag.Bool("quiet", false, "disable per-request logging")
+		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON records instead of logfmt-style text")
+		slowReq    = flag.Duration("slow-request-threshold", 0, "log requests at or above this duration at WARN with the full solver-stage breakdown (0 = disabled)")
 
 		reqTimeout    = flag.Duration("request-timeout", 0, "default deadline for compute requests; ?timeout= overrides per request (0 = none)")
 		maxReqTimeout = flag.Duration("max-request-timeout", 0, "cap on per-request ?timeout= overrides (0 = default 1m)")
@@ -133,18 +136,25 @@ func main() {
 	}
 
 	cfg := server.Config{
-		CacheSize:         *cacheSize,
-		JobWorkers:        *jobWorkers,
-		JobTTL:            *jobTTL,
-		PPRCacheSize:      *pprCache,
-		PPREps:            *pprEps,
-		RequestTimeout:    *reqTimeout,
-		MaxRequestTimeout: *maxReqTimeout,
-		MaxConcurrent:     *maxConcurrent,
-		MaxQueue:          *queueDepth,
+		CacheSize:            *cacheSize,
+		JobWorkers:           *jobWorkers,
+		JobTTL:               *jobTTL,
+		PPRCacheSize:         *pprCache,
+		PPREps:               *pprEps,
+		RequestTimeout:       *reqTimeout,
+		MaxRequestTimeout:    *maxReqTimeout,
+		MaxConcurrent:        *maxConcurrent,
+		MaxQueue:             *queueDepth,
+		SlowRequestThreshold: *slowReq,
 	}
 	if !*quiet {
-		cfg.Logger = log.New(os.Stderr, "", log.LstdFlags)
+		var h slog.Handler
+		if *logJSON {
+			h = slog.NewJSONHandler(os.Stderr, nil)
+		} else {
+			h = slog.NewTextHandler(os.Stderr, nil)
+		}
+		cfg.Logger = slog.New(h)
 	}
 	srv, err := server.NewMulti(reg, cfg)
 	if err != nil {

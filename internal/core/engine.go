@@ -31,6 +31,11 @@ type Engine struct {
 	g *graph.Graph
 	n int
 
+	// buildTime is how long the counting-sort transpose took — the one-off
+	// cost a cold graph pays before its first solve, surfaced through
+	// telemetry so "first request on a graph is slow" is attributable.
+	buildTime time.Duration
+
 	// Pull topology: arcs into v are flow positions offsets[v]..offsets[v+1],
 	// sources[pos] is the origin node, and perm[k] is the flow position of
 	// forward-CSR arc k (so transition probabilities scatter in one pass).
@@ -61,6 +66,7 @@ type Engine struct {
 // engines per graph; NewEngine exists for callers that manage the lifetime
 // themselves.
 func NewEngine(g *graph.Graph) *Engine {
+	buildStart := time.Now()
 	n := g.NumNodes()
 	e := &Engine{
 		g:       g,
@@ -96,11 +102,16 @@ func NewEngine(g *graph.Graph) *Engine {
 			e.perm[k] = pos
 		}
 	}
+	e.buildTime = time.Since(buildStart)
 	return e
 }
 
 // Graph returns the graph the engine was built for.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// BuildTime returns how long the pull-topology transpose took at
+// construction.
+func (e *Engine) BuildTime() time.Duration { return e.buildTime }
 
 // Connection returns the engine's cached connection-strength transition —
 // conventional (weighted) PageRank's transition, the one per-seed PPR serves.
@@ -268,6 +279,7 @@ func (e *Engine) power(ctx context.Context, probs []float64, opts Options, arcBa
 	}
 
 	res := &Result{}
+	solveStart := time.Now()
 	var cancelErr error
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -310,6 +322,7 @@ func (e *Engine) power(ctx context.Context, probs []float64, opts Options, arcBa
 			break
 		}
 	}
+	res.Elapsed = time.Since(solveStart)
 	if cancelErr == nil {
 		// Exact renormalization guards against drift over hundreds of
 		// iterations.

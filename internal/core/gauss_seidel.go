@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 )
 
 // SolveGaussSeidel solves the same fixpoint as Solve with in-place
@@ -75,6 +76,7 @@ func SolveGaussSeidelContext(ctx context.Context, t *Transition, opts Options) (
 	}
 
 	res := &Result{}
+	solveStart := time.Now()
 	// Track the dangling mass incrementally: recomputing it per node would
 	// be O(n·|dangling|). invOut[v] == 0 identifies dangling nodes.
 	var danglingMass float64
@@ -130,6 +132,7 @@ func SolveGaussSeidelContext(ctx context.Context, t *Transition, opts Options) (
 			break
 		}
 	}
+	res.Elapsed = time.Since(solveStart)
 	if cancelErr == nil {
 		// Gauss–Seidel sweeps do not preserve the L1 norm mid-stream;
 		// renormalize exactly as Solve does.

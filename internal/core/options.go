@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 )
 
 // Default solver parameters. The paper's default residual probability is
@@ -122,6 +123,10 @@ type Result struct {
 	Converged bool
 	// Residual is the final L1 difference between successive iterates.
 	Residual float64
+	// Elapsed is the wall-clock time of the iteration loop, recorded by the
+	// solver so serving-layer telemetry never needs to wrap a solve call in
+	// its own timer.
+	Elapsed time.Duration
 }
 
 // ErrEmptyGraph is returned when a ranker is asked to rank a graph with no

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // ForwardPushOptions configures the local-push PPR approximation.
@@ -36,6 +37,9 @@ type PPRResult struct {
 	ResidualMass float64
 	// Pushes is the number of push operations performed.
 	Pushes int
+	// Elapsed is the wall-clock time of the push loop, recorded by the
+	// solver for serving-layer telemetry.
+	Elapsed time.Duration
 }
 
 // pprScratch is the recycled solve-time state of SolvePPR: the residual
@@ -126,6 +130,7 @@ func (e *Engine) SolvePPRContext(ctx context.Context, t *Transition, seed int32,
 	// p = (1-α) Σ_k α^k T^k e_seed. Forward push maintains p (estimate) and
 	// r (residual) with invariant p + (1-α) Σ α^k T^k r = answer; since T is
 	// stochastic (dangling mass returns to the seed), Σp + Σr = 1 exactly.
+	solveStart := time.Now()
 	p := make([]float64, n) // escapes as PPRResult.Scores
 	st := e.getPPR()
 	r, inQueue, queue := st.r, st.inQueue, st.queue
@@ -209,7 +214,7 @@ func (e *Engine) SolvePPRContext(ctx context.Context, t *Transition, seed int32,
 	}
 	st.queue = queue
 	e.putPPR(st)
-	return &PPRResult{Scores: p, ResidualMass: residual, Pushes: pushes}, nil
+	return &PPRResult{Scores: p, ResidualMass: residual, Pushes: pushes, Elapsed: time.Since(solveStart)}, nil
 }
 
 // ForwardPush computes an approximate personalized PageRank vector for a

@@ -22,6 +22,7 @@ import (
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
 	"d2pr/internal/stats"
+	"d2pr/internal/telemetry"
 )
 
 // State is a job lifecycle state.
@@ -55,6 +56,10 @@ type Options struct {
 	// PPRCache receives every computed personalized top-k. Required only for
 	// SubmitPPR; a manager built without one rejects PPR cohorts.
 	PPRCache *pprcache.Cache
+	// Telemetry, when non-nil, receives per-solve statistics for every fresh
+	// solve a job executes — batch work shows up in the same per-graph
+	// iteration/residual series as interactive traffic.
+	Telemetry *telemetry.Registry
 }
 
 // Defaults for Options.
@@ -77,9 +82,18 @@ type ConfigResult struct {
 	PPRSpec *rankspec.PPRSpec `json:"ppr_spec,omitempty"`
 	// Cached reports that the score vector came from the rank cache (or an
 	// in-flight solve it piggybacked on) rather than a fresh solve.
-	Cached    bool             `json:"cached"`
-	ElapsedMs float64          `json:"elapsed_ms"`
-	Top       []rankspec.Entry `json:"top,omitempty"`
+	Cached    bool    `json:"cached"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	// Iterations, Residual, Converged, and Pushes carry the solver's own
+	// diagnostics for rows whose solve ran fresh (they are zero for cached
+	// rows — the cache stores scores, not the work that produced them).
+	// Residual is the final L1 residual for iterative solves and the
+	// un-pushed residual mass for PPR rows; Pushes is PPR-only.
+	Iterations int              `json:"iterations,omitempty"`
+	Residual   float64          `json:"residual,omitempty"`
+	Converged  bool             `json:"converged,omitempty"`
+	Pushes     int              `json:"pushes,omitempty"`
+	Top        []rankspec.Entry `json:"top,omitempty"`
 	// Spearman and DegreeSpearman are set when the sweep requested
 	// correlation: ranking vs. significance and ranking vs. degree.
 	Spearman       *float64 `json:"spearman,omitempty"`
@@ -111,14 +125,18 @@ type Status struct {
 	CreatedAt  time.Time `json:"created_at"`
 	StartedAt  time.Time `json:"started_at,omitzero"`
 	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// RequestID echoes the X-Request-ID of the submitting request, tying a
+	// job's lifecycle back to the access-log line that created it.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // job is the internal mutable job record. cond is broadcast on every result
 // append and state change, which Stream uses to deliver rows as they land.
 type job struct {
-	id    string
-	spec  SweepSpec
-	specs []rankspec.Spec
+	id        string
+	requestID string
+	spec      SweepSpec
+	specs     []rankspec.Spec
 	// pprSpec/pprSpecs are set instead of spec/specs for PPR-cohort jobs.
 	pprSpec  *PPRBatchSpec
 	pprSpecs []rankspec.PPRSpec
@@ -147,6 +165,7 @@ func (j *job) statusLocked() Status {
 		ID: j.id, Graph: graph, Algo: algo, State: j.state,
 		Total: total, Completed: len(j.results) - j.skipped, Failed: j.failed, Skipped: j.skipped,
 		Error: j.errMsg, CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
+		RequestID: j.requestID,
 	}
 }
 
@@ -261,18 +280,26 @@ func (m *Manager) prune() {
 // Submit validates and enqueues a sweep, returning the queued job's status.
 // The grid starts executing immediately (subject to worker availability).
 func (m *Manager) Submit(spec SweepSpec) (Status, error) {
+	return m.SubmitTraced(spec, "")
+}
+
+// SubmitTraced is Submit with a request ID attached to the job record, so
+// job listings and NDJSON terminal lines carry the submitting request's
+// X-Request-ID.
+func (m *Manager) SubmitTraced(spec SweepSpec, requestID string) (Status, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return Status{}, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		spec:    spec,
-		specs:   spec.Expand(),
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
+		requestID: requestID,
+		spec:      spec,
+		specs:     spec.Expand(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		created:   time.Now(),
 	}
 	return m.enqueue(j)
 }
@@ -335,7 +362,7 @@ func (m *Manager) run(j *job) {
 		if m.hookBeforeConfig != nil {
 			m.hookBeforeConfig(cfg)
 		}
-		return runConfig(j.ctx, comp, cfg, j.spec, m.opts.Cache, deg)
+		return runConfig(j.ctx, comp, cfg, j.spec, m.opts.Cache, deg, m.opts.Telemetry)
 	}, func(i int) ConfigResult {
 		cfg := j.specs[i]
 		return ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Skipped: true, Error: "cancelled"}
@@ -428,19 +455,44 @@ func (m *Manager) finishJob(j *job, errMsg string) {
 // runConfig executes one configuration through the rank cache and builds its
 // retained result row. ctx bounds this configuration's wait and (if it is
 // the last interested party) its solve. deg is the precomputed per-node
-// degree vector (nil unless the sweep correlates).
-func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, sw SweepSpec, cache *rankcache.Cache, deg []float64) ConfigResult {
+// degree vector (nil unless the sweep correlates). tel, when non-nil,
+// receives the solve's statistics from inside the compute closure — recorded
+// even when the requester abandons the solve.
+//
+// The solve diagnostics on the returned row come from a probe the closure
+// fills. Reading it is only safe on the leader-success path (err == nil and
+// !cached): the cache's done-channel close orders the closure's writes before
+// the leader's return, whereas on error or piggyback paths an abandoned
+// closure may still be running.
+func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, sw SweepSpec, cache *rankcache.Cache, deg []float64, tel *telemetry.Registry) ConfigResult {
 	snap := comp.Snapshot()
 	started := time.Now()
 	key := cfg.CacheKey()
+	var probe telemetry.SolveStats
 	scores, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
-		return comp.Compute(solveCtx, cfg)
+		s, st, cerr := comp.ComputeStats(solveCtx, cfg)
+		if cerr != nil {
+			if tel != nil {
+				tel.RecordSolveError(snap.Name)
+			}
+			return nil, cerr
+		}
+		if tel != nil {
+			tel.RecordSolve(snap.Name, st)
+		}
+		probe = st
+		return s, nil
 	})
 	res := ConfigResult{Config: string(key), Spec: cfg, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 		res.ElapsedMs = time.Since(started).Seconds() * 1000
 		return res
+	}
+	if !cached {
+		res.Iterations = probe.Iterations
+		res.Residual = probe.Residual
+		res.Converged = probe.Converged
 	}
 	if sw.TopK > 0 {
 		res.Top = rankspec.TopEntries(snap.Graph, scores, sw.TopK)
@@ -465,6 +517,12 @@ func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, 
 // configurations; rows for configurations never started carry a
 // "cancelled" error.
 func RunSync(ctx context.Context, snap *registry.Snapshot, sw SweepSpec, cache *rankcache.Cache, sem chan struct{}) []ConfigResult {
+	return RunSyncTraced(ctx, snap, sw, cache, sem, nil)
+}
+
+// RunSyncTraced is RunSync with an optional telemetry registry: fresh solves
+// report their statistics to tel exactly as async jobs' do.
+func RunSyncTraced(ctx context.Context, snap *registry.Snapshot, sw SweepSpec, cache *rankcache.Cache, sem chan struct{}, tel *telemetry.Registry) []ConfigResult {
 	sw = sw.withDefaults()
 	specs := sw.Expand()
 	if sem == nil {
@@ -501,7 +559,7 @@ func RunSync(ctx context.Context, snap *registry.Snapshot, sw SweepSpec, cache *
 				results[i] = ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Skipped: true, Error: "cancelled"}
 				return
 			}
-			results[i] = runConfig(ctx, comp, cfg, sw, cache, deg)
+			results[i] = runConfig(ctx, comp, cfg, sw, cache, deg, tel)
 		}(i, cfg)
 	}
 	wg.Wait()

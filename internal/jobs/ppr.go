@@ -9,6 +9,7 @@ import (
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
+	"d2pr/internal/telemetry"
 )
 
 // AlgoPPR is the Status.Algo value reported by PPR-cohort jobs,
@@ -111,6 +112,12 @@ func (sp PPRBatchSpec) Expand() []rankspec.PPRSpec {
 // status. The cohort executes on the same worker pool, job table, TTL
 // retention, and streaming plumbing as parameter sweeps.
 func (m *Manager) SubmitPPR(spec PPRBatchSpec) (Status, error) {
+	return m.SubmitPPRTraced(spec, "")
+}
+
+// SubmitPPRTraced is SubmitPPR with a request ID attached to the job record
+// (see SubmitTraced).
+func (m *Manager) SubmitPPRTraced(spec PPRBatchSpec, requestID string) (Status, error) {
 	if m.opts.PPRCache == nil {
 		return Status{}, errors.New("jobs: manager has no PPR cache configured")
 	}
@@ -120,12 +127,13 @@ func (m *Manager) SubmitPPR(spec PPRBatchSpec) (Status, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		pprSpec:  &spec,
-		pprSpecs: spec.Expand(),
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    StateQueued,
-		created:  time.Now(),
+		requestID: requestID,
+		pprSpec:   &spec,
+		pprSpecs:  spec.Expand(),
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		created:   time.Now(),
 	}
 	return m.enqueue(j)
 }
@@ -146,7 +154,7 @@ func (m *Manager) runPPR(j *job) {
 		if m.hookBeforePPRConfig != nil {
 			m.hookBeforePPRConfig(spec)
 		}
-		return runPPRConfig(j.ctx, snap, spec, m.opts.PPRCache)
+		return runPPRConfig(j.ctx, snap, spec, m.opts.PPRCache, m.opts.Telemetry)
 	}, func(i int) ConfigResult {
 		spec := j.pprSpecs[i]
 		seed := spec.Seed
@@ -158,18 +166,37 @@ func (m *Manager) runPPR(j *job) {
 // retained result row. ctx bounds this seed's wait and (if it is the last
 // interested party) its solve. The cached compact rows are expanded to full
 // ranking entries here (O(k)); the cache itself never stores degrees or
-// ranks.
-func runPPRConfig(ctx context.Context, snap *registry.Snapshot, spec rankspec.PPRSpec, cache *pprcache.Cache) ConfigResult {
+// ranks. tel, when non-nil, receives the push statistics from inside the
+// compute closure; the probe is read only on the leader-success path, as in
+// runConfig.
+func runPPRConfig(ctx context.Context, snap *registry.Snapshot, spec rankspec.PPRSpec, cache *pprcache.Cache, tel *telemetry.Registry) ConfigResult {
 	started := time.Now()
 	key := spec.CacheKey()
+	var probe telemetry.SolveStats
 	rows, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]pprcache.Entry, error) {
-		return spec.Compute(solveCtx, snap)
+		entries, st, cerr := spec.ComputeStats(solveCtx, snap)
+		if cerr != nil {
+			if tel != nil {
+				tel.RecordSolveError(snap.Name)
+			}
+			return nil, cerr
+		}
+		if tel != nil {
+			tel.RecordSolve(snap.Name, st)
+		}
+		probe = st
+		return entries, nil
 	})
 	seed := spec.Seed
 	res := ConfigResult{Config: string(key), Seed: &seed, PPRSpec: &spec, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 	} else {
+		if !cached {
+			res.Pushes = probe.Pushes
+			res.Residual = probe.Residual
+			res.Converged = probe.Converged
+		}
 		res.Top = rankspec.PPREntries(snap.Graph, rows)
 	}
 	res.ElapsedMs = time.Since(started).Seconds() * 1000

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"d2pr/internal/core"
 	"d2pr/internal/graph"
 	"d2pr/internal/pprcache"
 	"d2pr/internal/registry"
 	"d2pr/internal/stats"
+	"d2pr/internal/telemetry"
 )
 
 // MaxPPRK bounds the top-k size of a personalized request: a cached PPR
@@ -92,15 +94,35 @@ func (s PPRSpec) CacheKey() pprcache.Key {
 // top-k selection. ctx bounds the solve: the push loop polls it
 // periodically and aborts with the context's error.
 func (s PPRSpec) Compute(ctx context.Context, snap *registry.Snapshot) ([]pprcache.Entry, error) {
+	rows, _, err := s.ComputeStats(ctx, snap)
+	return rows, err
+}
+
+// AlgoPPRName is the SolveStats.Algo value for forward-push solves,
+// distinguishing them from the iterative algorithms in per-graph telemetry.
+const AlgoPPRName = "ppr"
+
+// ComputeStats is Compute plus per-solve telemetry: push count, un-pushed
+// residual mass (as Residual), and engine-build vs. solve wall-clock. The
+// solve stage includes the O(n + k·log k) top-k selection.
+func (s PPRSpec) ComputeStats(ctx context.Context, snap *registry.Snapshot) ([]pprcache.Entry, telemetry.SolveStats, error) {
+	st := telemetry.SolveStats{Algo: AlgoPPRName, Converged: true}
+	buildStart := time.Now()
 	e := snap.Engine()
+	st.EngineBuild = time.Since(buildStart)
+	solveStart := time.Now()
 	res, err := e.SolvePPRContext(ctx, e.Connection(), s.Seed, core.ForwardPushOptions{
 		Alpha:   s.Alpha,
 		Epsilon: s.Epsilon,
 	})
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return topPPREntries(res.Scores, s.K), nil
+	st.Pushes = res.Pushes
+	st.Residual = res.ResidualMass
+	rows := topPPREntries(res.Scores, s.K)
+	st.Solve = time.Since(solveStart)
+	return rows, st, nil
 }
 
 // topPPREntries keeps the k best (node, score) pairs in rank order, dropping

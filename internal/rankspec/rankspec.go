@@ -14,12 +14,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"d2pr/internal/core"
 	"d2pr/internal/graph"
 	"d2pr/internal/rankcache"
 	"d2pr/internal/registry"
 	"d2pr/internal/stats"
+	"d2pr/internal/telemetry"
 )
 
 // Supported algorithm names.
@@ -144,35 +146,73 @@ func isFinite(f float64) bool {
 // context's error (HITS and degree centrality ignore it — the former is an
 // ablation path, the latter is O(n) and cheaper than a solve iteration).
 func (s Spec) Compute(ctx context.Context, snap *registry.Snapshot) ([]float64, error) {
+	scores, _, err := s.ComputeStats(ctx, snap)
+	return scores, err
+}
+
+// fillIterative copies an iterative solve's diagnostics into st.
+func fillIterative(st *telemetry.SolveStats, res *core.Result) {
+	st.Iterations = res.Iterations
+	st.Residual = res.Residual
+	st.Converged = res.Converged
+}
+
+// ComputeStats is Compute plus per-solve telemetry: which solver ran, how
+// hard it worked (iterations, final residual), and where the wall-clock went
+// (engine build vs. solve). The engine-build stage is ~0 whenever the
+// snapshot's engine is already cached; the solve stage covers transition
+// build, the iteration/push loop, and any selection work. AdmissionWait is
+// left zero — queueing happens above this layer and is filled in by the
+// caller that did the queueing.
+func (s Spec) ComputeStats(ctx context.Context, snap *registry.Snapshot) ([]float64, telemetry.SolveStats, error) {
 	g := snap.Graph
 	opts := s.Options(g.NumNodes())
+	st := telemetry.SolveStats{Algo: s.Algo}
+	buildStart := time.Now()
+	var eng *core.Engine
+	switch s.Algo {
+	case AlgoD2PR, AlgoPageRank:
+		eng = snap.Engine()
+	}
+	st.EngineBuild = time.Since(buildStart)
+	solveStart := time.Now()
 	switch s.Algo {
 	case AlgoD2PR:
 		t, err := core.Blended(g, s.P, s.Beta)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		res, err := snap.Engine().SolveContext(ctx, t, opts)
+		res, err := eng.SolveContext(ctx, t, opts)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		return res.Scores, nil
+		fillIterative(&st, res)
+		st.Solve = time.Since(solveStart)
+		return res.Scores, st, nil
 	case AlgoPageRank:
-		res, err := snap.Engine().SolveContext(ctx, core.ConnectionStrength(g), opts)
+		res, err := eng.SolveContext(ctx, core.ConnectionStrength(g), opts)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		return res.Scores, nil
+		fillIterative(&st, res)
+		st.Solve = time.Since(solveStart)
+		return res.Scores, st, nil
 	case AlgoHITS:
 		res, err := core.HITS(g, opts)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
-		return res.Authorities, nil
+		st.Iterations = res.Iterations
+		st.Converged = res.Converged
+		st.Solve = time.Since(solveStart)
+		return res.Authorities, st, nil
 	case AlgoDegree:
-		return core.DegreeCentrality(g), nil
+		scores := core.DegreeCentrality(g)
+		st.Converged = true // O(n) direct computation; nothing to converge
+		st.Solve = time.Since(solveStart)
+		return scores, st, nil
 	}
-	return nil, fmt.Errorf("unknown algo %q", s.Algo)
+	return nil, st, fmt.Errorf("unknown algo %q", s.Algo)
 }
 
 // Computer evaluates Specs over one snapshot, amortizing the p-independent
@@ -202,15 +242,29 @@ func (c *Computer) Snapshot() *registry.Snapshot { return c.snap }
 // serving path share one pull topology). ctx bounds the solve as in
 // Spec.Compute.
 func (c *Computer) Compute(ctx context.Context, spec Spec) ([]float64, error) {
+	scores, _, err := c.ComputeStats(ctx, spec)
+	return scores, err
+}
+
+// ComputeStats is Compute plus per-solve telemetry (see Spec.ComputeStats).
+// The engine-build stage covers the lazily-built sweep state on the first
+// d2pr configuration; later configurations see ~0.
+func (c *Computer) ComputeStats(ctx context.Context, spec Spec) ([]float64, telemetry.SolveStats, error) {
 	if spec.Algo != AlgoD2PR {
-		return spec.Compute(ctx, c.snap)
+		return spec.ComputeStats(ctx, c.snap)
 	}
+	st := telemetry.SolveStats{Algo: spec.Algo}
+	buildStart := time.Now()
 	c.once.Do(func() { c.sweep = core.NewSweepSolverFor(c.snap.Engine()) })
+	st.EngineBuild = time.Since(buildStart)
+	solveStart := time.Now()
 	res, err := c.sweep.SolveContext(ctx, spec.P, spec.Beta, spec.Options(c.snap.Graph.NumNodes()))
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	return res.Scores, nil
+	fillIterative(&st, res)
+	st.Solve = time.Since(solveStart)
+	return res.Scores, st, nil
 }
 
 // Entry is one row of a top-k ranking table.

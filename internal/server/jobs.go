@@ -53,7 +53,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("%w %q", registry.ErrUnknownGraph, spec.Graph))
 		return
 	}
-	st, err := s.jobs.Submit(spec)
+	st, err := s.jobs.SubmitTraced(spec, requestIDFrom(r))
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, jobs.ErrClosed) {
@@ -204,6 +204,6 @@ func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Share the job manager's semaphore: JobWorkers caps total in-flight
 	// sweep configurations across async jobs AND concurrent batches.
-	results := jobs.RunSync(ctx, snap, spec, s.cache, s.jobs.Sem())
+	results := jobs.RunSyncTraced(ctx, snap, spec, s.cache, s.jobs.Sem(), s.tel)
 	writeJSON(w, http.StatusOK, BatchResponse{Graph: snap.Name, Count: len(results), Results: results})
 }

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"time"
+
+	"d2pr/internal/admission"
+	"d2pr/internal/jobs"
+	"d2pr/internal/pprcache"
+	"d2pr/internal/rankcache"
+	"d2pr/internal/telemetry"
+)
+
+// RouteCount is one per-route row of the /metrics JSON response: the request
+// count plus error count and latency percentiles from the route's histogram.
+// It aliases telemetry.RouteSummary so callers that only read Route/Count see
+// the pre-telemetry shape unchanged.
+type RouteCount = telemetry.RouteSummary
+
+// MetricsResponse is the /metrics JSON response body.
+type MetricsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Errors        uint64       `json:"errors"`
+	AvgLatencyMs  float64      `json:"avg_latency_ms"`
+	Routes        []RouteCount `json:"routes"`
+	// DeadlineExceeded counts compute requests that ran out of deadline
+	// (504s); ClientClosed counts requests whose client disconnected first
+	// (499s) — a 499 is not an error, so it gets its own counter. Admission
+	// carries the shed/queue-depth counters of the per-graph budgets.
+	DeadlineExceeded uint64                   `json:"deadline_exceeded"`
+	ClientClosed     uint64                   `json:"client_closed"`
+	Solves           []telemetry.GraphSummary `json:"solves,omitempty"`
+	Admission        admission.Stats          `json:"admission"`
+	Cache            rankcache.Stats          `json:"cache"`
+	PPRCache         pprcache.Stats           `json:"ppr_cache"`
+	Jobs             jobs.Stats               `json:"jobs"`
+	GraphsLoaded     int                      `json:"graphs_loaded"`
+	GraphsRegistry   int                      `json:"graphs_registered"`
+}
+
+// promContentType is the Prometheus text exposition format version this
+// server emits.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsPrometheus decides which exposition /metrics serves. The ?format=
+// query parameter wins when present (prometheus/openmetrics vs. json);
+// otherwise a text/plain or openmetrics Accept header — what a Prometheus
+// scraper sends — selects the text format, and everything else (browsers,
+// curl without headers) keeps the historical JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "openmetrics":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics-text")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.writeMetricsProm(w)
+		return
+	}
+	tel := s.tel
+	resp := MetricsResponse{
+		UptimeSeconds:    time.Since(tel.Start()).Seconds(),
+		Requests:         tel.Requests(),
+		Errors:           tel.Errors(),
+		AvgLatencyMs:     tel.AvgLatencyMs(),
+		Routes:           tel.RouteSummaries(),
+		DeadlineExceeded: tel.Deadlines(),
+		ClientClosed:     tel.ClientClosed(),
+		Solves:           tel.GraphSummaries(),
+	}
+	resp.Admission = s.adm.Stats()
+	resp.Cache = s.cache.Stats()
+	resp.PPRCache = s.ppr.Stats()
+	resp.Jobs = s.jobs.Stats()
+	for _, st := range s.reg.Statuses() {
+		resp.GraphsRegistry++
+		if st.Loaded {
+			resp.GraphsLoaded++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeMetricsProm renders the full Prometheus exposition: the telemetry
+// registry's request/solve/runtime families plus the server-level gauges
+// (caches, admission, jobs, registry) that live outside the registry. The
+// payload is staged in a buffer so an encoding error (impossible for a
+// bytes.Buffer, but checked anyway) never yields a half-written 200.
+func (s *Server) writeMetricsProm(w http.ResponseWriter) {
+	var buf bytes.Buffer
+	p := telemetry.NewPromWriter(&buf)
+	s.tel.WritePrometheus(p)
+	s.writeServerFamilies(p)
+	if err := p.Err(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeServerFamilies emits the cache/admission/jobs/registry gauges and
+// counters — serving-layer state the telemetry registry doesn't own.
+func (s *Server) writeServerFamilies(p *telemetry.PromWriter) {
+	cs := s.cache.Stats()
+	p.Family("d2pr_rankcache_hits_total", "counter", "Rank cache hits.")
+	p.Sample("d2pr_rankcache_hits_total", nil, float64(cs.Hits))
+	p.Family("d2pr_rankcache_misses_total", "counter", "Rank cache misses.")
+	p.Sample("d2pr_rankcache_misses_total", nil, float64(cs.Misses))
+	p.Family("d2pr_rankcache_evictions_total", "counter", "Rank cache evictions.")
+	p.Sample("d2pr_rankcache_evictions_total", nil, float64(cs.Evictions))
+	p.Family("d2pr_rankcache_shared_total", "counter", "Requests that piggybacked on an in-flight solve.")
+	p.Sample("d2pr_rankcache_shared_total", nil, float64(cs.Shared))
+	p.Family("d2pr_rankcache_stale_hits_total", "counter", "Requests served from the stale tier.")
+	p.Sample("d2pr_rankcache_stale_hits_total", nil, float64(cs.StaleHits))
+	p.Family("d2pr_rankcache_entries", "gauge", "Rank cache resident entries.")
+	p.Sample("d2pr_rankcache_entries", nil, float64(cs.Len))
+	p.Family("d2pr_rankcache_capacity", "gauge", "Rank cache capacity.")
+	p.Sample("d2pr_rankcache_capacity", nil, float64(cs.Cap))
+
+	ps := s.ppr.Stats()
+	p.Family("d2pr_pprcache_hits_total", "counter", "PPR cache hits.")
+	p.Sample("d2pr_pprcache_hits_total", nil, float64(ps.Hits))
+	p.Family("d2pr_pprcache_misses_total", "counter", "PPR cache misses.")
+	p.Sample("d2pr_pprcache_misses_total", nil, float64(ps.Misses))
+	p.Family("d2pr_pprcache_evictions_total", "counter", "PPR cache evictions.")
+	p.Sample("d2pr_pprcache_evictions_total", nil, float64(ps.Evictions))
+	p.Family("d2pr_pprcache_entries", "gauge", "PPR cache resident entries.")
+	p.Sample("d2pr_pprcache_entries", nil, float64(ps.Len))
+
+	as := s.adm.Stats()
+	p.Family("d2pr_admission_admitted_total", "counter", "Compute requests granted a solve slot.")
+	p.Sample("d2pr_admission_admitted_total", nil, float64(as.Admitted))
+	p.Family("d2pr_admission_shed_total", "counter", "Compute requests rejected with a full queue.")
+	p.Sample("d2pr_admission_shed_total", nil, float64(as.Shed))
+	p.Family("d2pr_admission_abandoned_total", "counter", "Queued compute requests whose context ended while waiting.")
+	p.Sample("d2pr_admission_abandoned_total", nil, float64(as.Abandoned))
+	p.Family("d2pr_admission_running", "gauge", "Compute requests currently holding a solve slot.")
+	p.Sample("d2pr_admission_running", nil, float64(as.Running))
+	p.Family("d2pr_admission_queue_depth", "gauge", "Compute requests currently queued for a slot.")
+	p.Sample("d2pr_admission_queue_depth", nil, float64(as.QueueDepth))
+
+	js := s.jobs.Stats()
+	p.Family("d2pr_jobs_submitted_total", "counter", "Background jobs accepted.")
+	p.Sample("d2pr_jobs_submitted_total", nil, float64(js.Submitted))
+	p.Family("d2pr_jobs_done_total", "counter", "Background jobs finished successfully.")
+	p.Sample("d2pr_jobs_done_total", nil, float64(js.Done))
+	p.Family("d2pr_jobs_failed_total", "counter", "Background jobs finished with an error.")
+	p.Sample("d2pr_jobs_failed_total", nil, float64(js.Failed))
+	p.Family("d2pr_jobs_cancelled_total", "counter", "Background jobs cancelled.")
+	p.Sample("d2pr_jobs_cancelled_total", nil, float64(js.Cancelled))
+	p.Family("d2pr_jobs_active", "gauge", "Background jobs not yet in a terminal state.")
+	p.Sample("d2pr_jobs_active", nil, float64(js.Active))
+
+	var loaded, registered int
+	for _, st := range s.reg.Statuses() {
+		registered++
+		if st.Loaded {
+			loaded++
+		}
+	}
+	p.Family("d2pr_graphs_registered", "gauge", "Graphs known to the registry.")
+	p.Sample("d2pr_graphs_registered", nil, float64(registered))
+	p.Family("d2pr_graphs_loaded", "gauge", "Graphs currently materialized in memory.")
+	p.Sample("d2pr_graphs_loaded", nil, float64(loaded))
+}

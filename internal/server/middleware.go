@@ -4,97 +4,76 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math/rand/v2"
 	"net/http"
-	"sort"
-	"sync"
+	"strings"
 	"time"
 
 	"d2pr/internal/admission"
-	"d2pr/internal/jobs"
-	"d2pr/internal/pprcache"
-	"d2pr/internal/rankcache"
+	"d2pr/internal/telemetry"
 )
 
-// metrics collects per-route request counters and aggregate latency. All
-// methods are safe for concurrent use.
-type metrics struct {
-	mu        sync.Mutex
-	start     time.Time
-	requests  uint64
-	errors    uint64 // responses with status >= 400
-	deadlines uint64 // compute requests that hit their deadline (504s)
-	byPattern map[string]uint64
-	totalWait time.Duration
-}
+// requestIDHeader carries the per-request correlation ID. Inbound values are
+// echoed when well-formed; otherwise (including when absent) the server
+// generates one. The ID appears on the response, in every access-log line,
+// and on job records created by the request.
+const requestIDHeader = "X-Request-ID"
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), byPattern: map[string]uint64{}}
-}
+// maxRequestIDLen bounds an inbound request ID. Anything longer (or carrying
+// non-printable bytes) is replaced with a generated ID rather than echoed —
+// the header is reflected into responses and logs, so it is validated like
+// any other untrusted input.
+const maxRequestIDLen = 128
 
-func (m *metrics) record(pattern string, status int, elapsed time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests++
-	if status >= 400 {
-		m.errors++
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
 	}
-	m.byPattern[pattern]++
-	m.totalWait += elapsed
-}
-
-// RouteCount is one per-route counter row of the /metrics response.
-type RouteCount struct {
-	Route string `json:"route"`
-	Count uint64 `json:"count"`
-}
-
-// MetricsResponse is the /metrics response body.
-type MetricsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      uint64       `json:"requests"`
-	Errors        uint64       `json:"errors"`
-	AvgLatencyMs  float64      `json:"avg_latency_ms"`
-	Routes        []RouteCount `json:"routes"`
-	// DeadlineExceeded counts compute requests that ran out of deadline
-	// (504s); Admission carries the shed/queue-depth counters of the
-	// per-graph budgets.
-	DeadlineExceeded uint64          `json:"deadline_exceeded"`
-	Admission        admission.Stats `json:"admission"`
-	Cache            rankcache.Stats `json:"cache"`
-	PPRCache         pprcache.Stats  `json:"ppr_cache"`
-	Jobs             jobs.Stats      `json:"jobs"`
-	GraphsLoaded     int             `json:"graphs_loaded"`
-	GraphsRegistry   int             `json:"graphs_registered"`
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics
-	m.mu.Lock()
-	resp := MetricsResponse{
-		UptimeSeconds:    time.Since(m.start).Seconds(),
-		Requests:         m.requests,
-		Errors:           m.errors,
-		DeadlineExceeded: m.deadlines,
-	}
-	if m.requests > 0 {
-		resp.AvgLatencyMs = m.totalWait.Seconds() * 1000 / float64(m.requests)
-	}
-	for route, n := range m.byPattern {
-		resp.Routes = append(resp.Routes, RouteCount{Route: route, Count: n})
-	}
-	m.mu.Unlock()
-	sort.Slice(resp.Routes, func(a, b int) bool { return resp.Routes[a].Route < resp.Routes[b].Route })
-	resp.Admission = s.adm.Stats()
-	resp.Cache = s.cache.Stats()
-	resp.PPRCache = s.ppr.Stats()
-	resp.Jobs = s.jobs.Stats()
-	for _, st := range s.reg.Statuses() {
-		resp.GraphsRegistry++
-		if st.Loaded {
-			resp.GraphsLoaded++
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return true
+}
+
+// newRequestID returns 16 hex characters of process-local randomness —
+// collision-safe for log correlation, which needs uniqueness per retention
+// window, not cryptographic unguessability.
+func newRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// requestTrace accumulates per-request observability state as the request
+// descends through the handler tree: the correlation ID (set by the
+// middleware) and, for compute endpoints, the cache tier and solve-stage
+// stats (set by the handler). It is written by the handler goroutine and
+// read by the middleware after the handler returns — same goroutine, no
+// synchronization needed.
+type requestTrace struct {
+	id    string
+	graph string
+	tier  string
+	solve *telemetry.SolveStats
+}
+
+type traceKey struct{}
+
+// traceFrom returns the request's trace, or nil outside the middleware
+// (direct handler tests).
+func traceFrom(ctx context.Context) *requestTrace {
+	tr, _ := ctx.Value(traceKey{}).(*requestTrace)
+	return tr
+}
+
+// requestIDFrom returns the request's correlation ID, or "" outside the
+// middleware.
+func requestIDFrom(r *http.Request) string {
+	if tr := traceFrom(r.Context()); tr != nil {
+		return tr.id
+	}
+	return ""
 }
 
 // statusRecorder captures the response status for logging/metrics and
@@ -147,12 +126,24 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
-// instrument wraps the handler tree with request logging and metrics
-// collection. Metrics are bucketed by the matched route pattern (not the raw
-// path), so per-graph traffic aggregates under one counter per endpoint.
+// instrument wraps the handler tree with request-ID propagation, telemetry
+// recording, and structured logging. Metrics are bucketed by the matched
+// route pattern (not the raw path), so per-graph traffic aggregates under
+// one series per endpoint. The recording path is mutex-free: one
+// telemetry.Record call, all atomics.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		tr := &requestTrace{id: id}
+		// WithContext copies the request; the mux mutates Pattern on the
+		// pointer it is handed, so everything below (the recorder's rewrite
+		// probe, the post-handler pattern read) must reference the copy.
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
+		w.Header().Set(requestIDHeader, id)
 		rec := &statusRecorder{ResponseWriter: w, req: r, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		elapsed := time.Since(started)
@@ -162,11 +153,72 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if pattern == "" {
 			pattern = "(no route)"
 		}
-		s.metrics.record(pattern, rec.status, elapsed)
-		if s.logger != nil {
-			s.logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), rec.status, elapsed.Round(time.Microsecond))
+		s.tel.Record(pattern, rec.status, elapsed)
+		if s.logger == nil {
+			return
 		}
+		attrs := make([]any, 0, 16)
+		attrs = append(attrs,
+			"method", r.Method,
+			"path", r.URL.RequestURI(),
+			"status", rec.status,
+			"elapsed_ms", float64(elapsed)/1e6,
+			"request_id", id,
+		)
+		if tr.tier != "" {
+			attrs = append(attrs, "cache", tr.tier)
+		}
+		if tr.graph != "" {
+			attrs = append(attrs, "graph", tr.graph)
+		}
+		if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+			// Outlier: log the full stage breakdown so "why was this slow"
+			// is answerable from the log line alone.
+			if st := tr.solve; st != nil {
+				attrs = append(attrs,
+					"queue_ms", float64(st.AdmissionWait)/1e6,
+					"engine_ms", float64(st.EngineBuild)/1e6,
+					"solve_ms", float64(st.Solve)/1e6,
+					"algo", st.Algo,
+					"iterations", st.Iterations,
+					"residual", st.Residual,
+				)
+				if st.Pushes > 0 {
+					attrs = append(attrs, "pushes", st.Pushes)
+				}
+			}
+			s.logger.Warn("slow request", attrs...)
+			return
+		}
+		s.logger.Info("request", attrs...)
 	})
+}
+
+// setServerTiming writes the stage breakdown as a Server-Timing header:
+// the cache tier plus, for fresh solves, queue/engine/solve durations in
+// milliseconds. Browsers surface these in devtools; curl users get the same
+// numbers the slow-request log line carries.
+func setServerTiming(w http.ResponseWriter, tier string, st *telemetry.SolveStats) {
+	var b strings.Builder
+	b.WriteString("cache;desc=")
+	b.WriteString(tier)
+	if st != nil {
+		fmt.Fprintf(&b, ", queue;dur=%.3f", float64(st.AdmissionWait)/1e6)
+		fmt.Fprintf(&b, ", engine;dur=%.3f", float64(st.EngineBuild)/1e6)
+		fmt.Fprintf(&b, ", solve;dur=%.3f", float64(st.Solve)/1e6)
+	}
+	w.Header().Set("Server-Timing", b.String())
+}
+
+// noteCompute records a compute endpoint's outcome on the request trace (for
+// the access log) and emits the Server-Timing header.
+func noteCompute(w http.ResponseWriter, r *http.Request, graph, tier string, st *telemetry.SolveStats) {
+	setServerTiming(w, tier, st)
+	if tr := traceFrom(r.Context()); tr != nil {
+		tr.graph = graph
+		tr.tier = tier
+		tr.solve = st
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -189,7 +241,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // statusClientClosedRequest is nginx's convention for "the client went away
 // before the response was ready" — nobody reads the body, but the status
-// keeps access logs and metrics honest about why the work stopped.
+// keeps access logs and metrics honest about why the work stopped. The
+// telemetry registry counts 499s in their own client_closed series, not as
+// errors.
 const statusClientClosedRequest = 499
 
 // retryAfterSeconds is the Retry-After hint attached to shed (429)
@@ -200,16 +254,14 @@ const retryAfterSeconds = "1"
 // writeComputeError maps a compute-path failure to its HTTP status: a full
 // admission queue is 429 + Retry-After (the stale-serve fallback has
 // already been tried by scores), an expired deadline 504, a client gone 499,
-// anything else 500.
+// anything else 500. Deadline and disconnect counters derive from the status
+// inside telemetry.Record — no counter is touched here.
 func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, admission.ErrQueueFull):
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.metrics.mu.Lock()
-		s.metrics.deadlines++
-		s.metrics.mu.Unlock()
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		writeError(w, statusClientClosedRequest, err)

@@ -8,11 +8,13 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"d2pr/internal/jobs"
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
+	"d2pr/internal/telemetry"
 )
 
 // pprCacheHeader reports whether a /ppr response was served from the
@@ -93,8 +95,13 @@ func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry
 		return
 	}
 	defer cancel()
+	// probe follows the same discipline as Server.scores: written inside the
+	// closure, read only on the leader-success path.
+	var probe telemetry.SolveStats
 	rows, cached, err := s.ppr.Get(ctx, spec.CacheKey(), func(solveCtx context.Context) ([]pprcache.Entry, error) {
+		waitStart := time.Now()
 		release, aerr := s.adm.Acquire(solveCtx, snap.Name)
+		wait := time.Since(waitStart)
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -102,17 +109,30 @@ func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry
 		if s.hookSolve != nil {
 			s.hookSolve(snap.Name)
 		}
-		return spec.Compute(solveCtx, snap)
+		entries, st, cerr := spec.ComputeStats(solveCtx, snap)
+		if cerr != nil {
+			s.tel.RecordSolveError(snap.Name)
+			return nil, cerr
+		}
+		st.AdmissionWait = wait
+		s.tel.RecordSolve(snap.Name, st)
+		probe = st
+		return entries, nil
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
 	}
 	status := "miss"
+	var st *telemetry.SolveStats
 	if cached {
 		status = "hit"
+	} else {
+		cp := probe
+		st = &cp
 	}
 	w.Header().Set(pprCacheHeader, status)
+	noteCompute(w, r, snap.Name, status, st)
 	writeJSON(w, http.StatusOK, PPRResponse{
 		Graph:  snap.Name,
 		Config: string(spec.CacheKey()),
@@ -216,7 +236,7 @@ func (s *Server) handlePPRBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	st, err := s.jobs.SubmitPPR(spec)
+	st, err := s.jobs.SubmitPPRTraced(spec, requestIDFrom(r))
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, jobs.ErrClosed) {

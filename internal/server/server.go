@@ -42,7 +42,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -57,6 +57,7 @@ import (
 	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
 	"d2pr/internal/stats"
+	"d2pr/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -91,20 +92,27 @@ type Config struct {
 	// MaxRequestTimeout caps per-request timeout overrides. 0 means
 	// admission.DefaultMaxTimeout.
 	MaxRequestTimeout time.Duration
-	// Logger receives one line per request when non-nil.
-	Logger *log.Logger
+	// Logger receives one structured record per request when non-nil.
+	Logger *slog.Logger
+	// SlowRequestThreshold, when positive, promotes requests at or above
+	// this wall-clock duration to a WARN "slow request" record carrying the
+	// full solver-stage breakdown (queue/engine/solve, iterations,
+	// residual). 0 disables outlier promotion.
+	SlowRequestThreshold time.Duration
 }
 
 // Server serves ranking queries over a registry of named graphs.
 type Server struct {
-	reg     *registry.Registry
-	cache   *rankcache.Cache
-	ppr     *pprcache.Cache
-	pprEps  float64
-	jobs    *jobs.Manager
-	adm     *admission.Controller
-	logger  *log.Logger
-	metrics *metrics
+	reg    *registry.Registry
+	cache  *rankcache.Cache
+	ppr    *pprcache.Cache
+	pprEps float64
+	jobs   *jobs.Manager
+	adm    *admission.Controller
+	tel    *telemetry.Registry
+
+	logger        *slog.Logger
+	slowThreshold time.Duration
 
 	// hookSolve, when non-nil, runs inside the compute closure after the
 	// admission slot is acquired and before the solve — a test seam for
@@ -139,15 +147,17 @@ func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
 			Timeout:       cfg.RequestTimeout,
 			MaxTimeout:    cfg.MaxRequestTimeout,
 		}),
-		logger:  cfg.Logger,
-		metrics: newMetrics(),
+		tel:           telemetry.NewRegistry(),
+		logger:        cfg.Logger,
+		slowThreshold: cfg.SlowRequestThreshold,
 	}
 	mgr, err := jobs.New(jobs.Options{
-		Workers:  cfg.JobWorkers,
-		TTL:      cfg.JobTTL,
-		Resolve:  reg.Get,
-		Cache:    s.cache,
-		PPRCache: s.ppr,
+		Workers:   cfg.JobWorkers,
+		TTL:       cfg.JobTTL,
+		Resolve:   reg.Get,
+		Cache:     s.cache,
+		PPRCache:  s.ppr,
+		Telemetry: s.tel,
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +188,10 @@ func (s *Server) PPRCache() *pprcache.Cache { return s.ppr }
 
 // Jobs exposes the sweep-job manager.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Telemetry exposes the request/solve telemetry registry (for tests and
+// embedders that scrape programmatically).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 
 // Close drains the job subsystem: no new jobs are accepted and running jobs
 // finish. If ctx expires first, remaining jobs are cancelled (in-flight
@@ -244,7 +258,13 @@ func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct
 					if err != nil {
 						return nil, err
 					}
-					return spec.Compute(ctx, snap)
+					scores, st, err := spec.ComputeStats(ctx, snap)
+					if err != nil {
+						s.tel.RecordSolveError(snap.Name)
+						return nil, err
+					}
+					s.tel.RecordSolve(snap.Name, st)
+					return scores, nil
 				},
 			})
 		}
@@ -316,17 +336,25 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 }
 
 // scores returns the score vector for a spec together with its cache status
-// ("hit", "miss", or "stale"). Concurrent identical requests share one solve
-// via the cache's single-flight path; only an actual solve claims one of the
-// graph's admission slots — hits and piggybacks never queue. The slot is
-// acquired under the detached solve context, so queue waiting is abandoned
-// only when every requester for the key is gone. When the budget sheds and
-// an evicted copy of the vector exists, the stale copy is served instead of
-// the error.
-func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec rankspec.Spec) ([]float64, string, error) {
+// ("hit", "miss", or "stale") and, for a miss, the solve-stage stats.
+// Concurrent identical requests share one solve via the cache's single-flight
+// path; only an actual solve claims one of the graph's admission slots — hits
+// and piggybacks never queue. The slot is acquired under the detached solve
+// context, so queue waiting is abandoned only when every requester for the
+// key is gone. When the budget sheds and an evicted copy of the vector
+// exists, the stale copy is served instead of the error.
+//
+// probe is written inside the compute closure and read only on the
+// leader-success path (err == nil && !cached): the cache's done-channel close
+// establishes the happens-before, and on every other outcome the closure may
+// still be running on an abandoned solve, so the probe is never touched.
+func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec rankspec.Spec) ([]float64, string, *telemetry.SolveStats, error) {
 	key := spec.CacheKey()
+	var probe telemetry.SolveStats
 	val, cached, err := s.cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
+		waitStart := time.Now()
 		release, aerr := s.adm.Acquire(solveCtx, snap.Name)
+		wait := time.Since(waitStart)
 		if aerr != nil {
 			return nil, aerr
 		}
@@ -334,19 +362,28 @@ func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec ranks
 		if s.hookSolve != nil {
 			s.hookSolve(snap.Name)
 		}
-		return spec.Compute(solveCtx, snap)
+		scores, st, cerr := spec.ComputeStats(solveCtx, snap)
+		if cerr != nil {
+			s.tel.RecordSolveError(snap.Name)
+			return nil, cerr
+		}
+		st.AdmissionWait = wait
+		s.tel.RecordSolve(snap.Name, st)
+		probe = st
+		return scores, nil
 	})
 	switch {
 	case err == nil && cached:
-		return val, "hit", nil
+		return val, "hit", nil, nil
 	case err == nil:
-		return val, "miss", nil
+		st := probe
+		return val, "miss", &st, nil
 	case errors.Is(err, admission.ErrQueueFull):
 		if stale, ok := s.cache.LookupStale(key); ok {
-			return stale, "stale", nil
+			return stale, "stale", nil, nil
 		}
 	}
-	return nil, "", err
+	return nil, "", nil, err
 }
 
 // rankScores runs the full interactive compute path for a ranking handler:
@@ -360,12 +397,13 @@ func (s *Server) rankScores(w http.ResponseWriter, r *http.Request, snap *regist
 		return nil, false
 	}
 	defer cancel()
-	scores, status, err := s.scores(ctx, snap, spec)
+	scores, status, st, err := s.scores(ctx, snap, spec)
 	if err != nil {
 		s.writeComputeError(w, err)
 		return nil, false
 	}
 	w.Header().Set(cacheHeader, status)
+	noteCompute(w, r, snap.Name, status, st)
 	return scores, true
 }
 

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log2 buckets over nanoseconds. The first bucket's
+// upper bound is 2^histMinExp ns (≈1µs, below any real request) and the last
+// finite bound 2^histMaxExp ns (≈34s, past any survivable request — the
+// admission layer caps timeouts at one minute but solves that slow have long
+// since been shed); everything above lands in the +Inf overflow bucket. That
+// is 27 buckets per series: coarse enough to stay cheap, fine enough that
+// p99 interpolation is within a factor of 2 of the truth, which is what a
+// log-latency percentile is for.
+const (
+	histMinExp     = 10 // first bucket: le 1.024µs
+	histMaxExp     = 35 // last finite bucket: le ~34.36s
+	numFinite      = histMaxExp - histMinExp + 1
+	numHistBuckets = numFinite + 1 // + overflow (+Inf)
+)
+
+// Histogram is a fixed-bucket log2 latency histogram safe for concurrent use.
+// Observe is wait-free: one atomic add per bucket plus one for the running
+// sum. The zero value is ready to use.
+type Histogram struct {
+	buckets [numHistBuckets]atomic.Uint64
+	sumNs   atomic.Int64
+}
+
+// bucketIndex places a duration. bits.Len64(ns-1) is the smallest k with
+// ns ≤ 2^k, so exact powers of two land in the bucket whose upper bound they
+// equal — the `le` buckets below stay honest cumulative ≤ counts.
+func bucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	exp := bits.Len64(uint64(d) - 1)
+	switch {
+	case exp <= histMinExp:
+		return 0
+	case exp > histMaxExp:
+		return numHistBuckets - 1
+	default:
+		return exp - histMinExp
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. The copy is not
+// atomic across buckets — observations racing the snapshot may or may not be
+// included — but every cumulative count derived from it is internally
+// consistent because Count is derived from the buckets themselves.
+type HistogramSnapshot struct {
+	Buckets [numHistBuckets]uint64
+	Count   uint64
+	SumNs   int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Buckets[i] = c
+		s.Count += c
+	}
+	s.SumNs = h.sumNs.Load()
+	return s
+}
+
+// merge adds o's buckets into s (for cross-status-class route quantiles).
+func (s *HistogramSnapshot) merge(o HistogramSnapshot) {
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+}
+
+// bucketBoundNs returns the inclusive upper bound of bucket i in nanoseconds.
+// The overflow bucket reports twice the last finite bound; exposition maps it
+// to +Inf instead.
+func bucketBoundNs(i int) int64 {
+	if i >= numFinite {
+		return int64(1) << (histMaxExp + 1)
+	}
+	return int64(1) << (histMinExp + i)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by walking the cumulative
+// counts and interpolating linearly inside the containing bucket. With log2
+// buckets the estimate is exact to within one octave — plenty for latency
+// percentiles. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= rank {
+			hi := float64(bucketBoundNs(i))
+			lo := 0.0
+			if i > 0 {
+				lo = float64(bucketBoundNs(i - 1))
+			}
+			frac := (rank - cum) / fc
+			return time.Duration(lo + frac*(hi-lo))
+		}
+		cum += fc
+	}
+	return time.Duration(bucketBoundNs(numHistBuckets - 1))
+}
+
+// BucketBounds returns the exposition upper bounds in seconds, one per
+// bucket; the final entry is +Inf (math.Inf is avoided here so the table is
+// a plain computation — the Prometheus writer special-cases the last index).
+func bucketBoundsSeconds() []float64 {
+	out := make([]float64, numFinite)
+	for i := range out {
+		out[i] = float64(bucketBoundNs(i)) * 1e-9
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter emits the Prometheus text exposition format (version 0.0.4):
+// one # HELP / # TYPE pair per family followed by its samples, never
+// interleaved. Errors are sticky; check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+	buf []byte
+}
+
+// NewPromWriter wraps w. Callers typically pass a bytes.Buffer and flush the
+// whole exposition in one response write.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) write(b []byte) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = p.w.Write(b)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Family declares a metric family. Every Sample for it must follow before
+// the next Family call — the writer is the single producer, so emission
+// order is family-contiguous by construction.
+func (p *PromWriter) Family(name, typ, help string) {
+	b := p.buf[:0]
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, escapeHelp(help)...)
+	b = append(b, "\n# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, typ...)
+	b = append(b, '\n')
+	p.buf = b
+	p.write(b)
+}
+
+// formatValue renders a sample value; +Inf/-Inf/NaN use the exposition
+// spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample emits one sample line for the current family. labels may be nil.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	b := p.buf[:0]
+	b = append(b, name...)
+	if len(labels) > 0 {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l.Name...)
+			b = append(b, `="`...)
+			b = append(b, escapeLabel(l.Value)...)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, formatValue(v)...)
+	b = append(b, '\n')
+	p.buf = b
+	p.write(b)
+}
+
+// HistogramSamples emits the _bucket/_sum/_count triplet of one histogram
+// series under family name (declared by the caller with type "histogram").
+// labels identify the series; the le label is appended per bucket.
+func (p *PromWriter) HistogramSamples(name string, labels []Label, snap HistogramSnapshot) {
+	bounds := bucketBoundsSeconds()
+	var cum uint64
+	ls := make([]Label, len(labels)+1)
+	copy(ls, labels)
+	for i, bound := range bounds {
+		cum += snap.Buckets[i]
+		ls[len(labels)] = Label{"le", strconv.FormatFloat(bound, 'g', -1, 64)}
+		p.Sample(name+"_bucket", ls, float64(cum))
+	}
+	cum += snap.Buckets[numHistBuckets-1]
+	ls[len(labels)] = Label{"le", "+Inf"}
+	p.Sample(name+"_bucket", ls, float64(cum))
+	p.Sample(name+"_sum", labels, float64(snap.SumNs)*1e-9)
+	p.Sample(name+"_count", labels, float64(cum))
+}
+
+// routeSnapshot is the point-in-time state of one route used by the
+// exposition (collected first so each family can be written contiguously).
+type routeSnapshot struct {
+	route  string
+	counts [numClasses]uint64
+	hists  [numClasses]HistogramSnapshot
+	merged HistogramSnapshot
+}
+
+func (r *Registry) snapshotRoutes() []routeSnapshot {
+	var out []routeSnapshot
+	r.routes.Range(func(k, v any) bool {
+		rs := v.(*routeStats)
+		snap := routeSnapshot{route: k.(string)}
+		for ci := range rs.classes {
+			cs := &rs.classes[ci]
+			snap.counts[ci] = cs.count.Load()
+			if snap.counts[ci] == 0 {
+				continue
+			}
+			snap.hists[ci] = cs.hist.Snapshot()
+			snap.merged.merge(snap.hists[ci])
+		}
+		out = append(out, snap)
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].route < out[b].route })
+	return out
+}
+
+// WritePrometheus emits the registry's HTTP and solver families followed by
+// the Go runtime stats. The caller owns any additional server-level families
+// (cache, admission, jobs) and writes them through the same PromWriter before
+// or after this call — each family is self-contained, so ordering between
+// families is free.
+func (r *Registry) WritePrometheus(p *PromWriter) {
+	p.Family("d2pr_uptime_seconds", "gauge", "Seconds since the server started.")
+	p.Sample("d2pr_uptime_seconds", nil, time.Since(r.start).Seconds())
+
+	p.Family("d2pr_http_requests_total", "counter", "Completed HTTP requests by route and status class.")
+	routes := r.snapshotRoutes()
+	for _, rt := range routes {
+		for ci, c := range rt.counts {
+			if c == 0 {
+				continue
+			}
+			p.Sample("d2pr_http_requests_total", []Label{{"route", rt.route}, {"class", classNames[ci]}}, float64(c))
+		}
+	}
+
+	p.Family("d2pr_http_errors_total", "counter", "Responses with status >= 400, excluding 499 client disconnects.")
+	p.Sample("d2pr_http_errors_total", nil, float64(r.errors.Load()))
+	p.Family("d2pr_http_client_closed_total", "counter", "Requests whose client disconnected before the response (status 499).")
+	p.Sample("d2pr_http_client_closed_total", nil, float64(r.clientClosed.Load()))
+	p.Family("d2pr_http_deadline_exceeded_total", "counter", "Compute requests that ran out of deadline (status 504).")
+	p.Sample("d2pr_http_deadline_exceeded_total", nil, float64(r.deadlines.Load()))
+
+	p.Family("d2pr_http_request_duration_seconds", "histogram", "Request latency by route and status class (log2 buckets).")
+	for _, rt := range routes {
+		for ci, c := range rt.counts {
+			if c == 0 {
+				continue
+			}
+			p.HistogramSamples("d2pr_http_request_duration_seconds",
+				[]Label{{"route", rt.route}, {"class", classNames[ci]}}, rt.hists[ci])
+		}
+	}
+
+	// Quantiles live in their own gauge family: the exposition format does
+	// not allow summary-style quantile samples inside a histogram family.
+	p.Family("d2pr_http_request_latency_quantile_seconds", "gauge", "Interpolated request-latency quantiles per route (all status classes).")
+	for _, rt := range routes {
+		if rt.merged.Count == 0 {
+			continue
+		}
+		for _, q := range [...]struct {
+			q float64
+			s string
+		}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+			p.Sample("d2pr_http_request_latency_quantile_seconds",
+				[]Label{{"route", rt.route}, {"quantile", q.s}},
+				rt.merged.Quantile(q.q).Seconds())
+		}
+	}
+
+	r.writeSolveFamilies(p)
+	writeGoStats(p)
+}
+
+// graphSnapshot mirrors routeSnapshot for the solver families.
+type graphSnapshot struct {
+	name string
+	sum  GraphSummary
+	hist HistogramSnapshot
+}
+
+func (r *Registry) snapshotGraphs() []graphSnapshot {
+	var out []graphSnapshot
+	r.graphs.Range(func(k, v any) bool {
+		gs := v.(*graphStats)
+		out = append(out, graphSnapshot{
+			name: k.(string),
+			sum: GraphSummary{
+				Solves:          gs.solves.Load(),
+				PPRSolves:       gs.pprSolves.Load(),
+				SolveErrors:     gs.solveErrors.Load(),
+				Unconverged:     gs.unconverged.Load(),
+				IterationsTotal: gs.iterations.Load(),
+				PushesTotal:     gs.pushes.Load(),
+				LastResidual:    math.Float64frombits(gs.lastResidual.Load()),
+				AdmissionWaitMs: float64(gs.admWaitNs.Load()) / 1e6,
+				EngineBuildMs:   float64(gs.engineBuildNs.Load()) / 1e6,
+			},
+			hist: gs.hist.Snapshot(),
+		})
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
+
+func (r *Registry) writeSolveFamilies(p *PromWriter) {
+	graphs := r.snapshotGraphs()
+
+	p.Family("d2pr_solves_total", "counter", "Completed solves by graph and kind (iterative vs. forward-push).")
+	for _, g := range graphs {
+		if g.sum.Solves > 0 {
+			p.Sample("d2pr_solves_total", []Label{{"graph", g.name}, {"kind", "iterative"}}, float64(g.sum.Solves))
+		}
+		if g.sum.PPRSolves > 0 {
+			p.Sample("d2pr_solves_total", []Label{{"graph", g.name}, {"kind", "push"}}, float64(g.sum.PPRSolves))
+		}
+	}
+	p.Family("d2pr_solve_errors_total", "counter", "Failed solve attempts by graph.")
+	for _, g := range graphs {
+		if g.sum.SolveErrors > 0 {
+			p.Sample("d2pr_solve_errors_total", []Label{{"graph", g.name}}, float64(g.sum.SolveErrors))
+		}
+	}
+	p.Family("d2pr_solve_unconverged_total", "counter", "Iterative solves that hit MaxIter before meeting tolerance.")
+	for _, g := range graphs {
+		if g.sum.Unconverged > 0 {
+			p.Sample("d2pr_solve_unconverged_total", []Label{{"graph", g.name}}, float64(g.sum.Unconverged))
+		}
+	}
+	p.Family("d2pr_solve_iterations_total", "counter", "Power iterations performed, by graph.")
+	for _, g := range graphs {
+		p.Sample("d2pr_solve_iterations_total", []Label{{"graph", g.name}}, float64(g.sum.IterationsTotal))
+	}
+	p.Family("d2pr_ppr_pushes_total", "counter", "Forward-push operations performed, by graph.")
+	for _, g := range graphs {
+		if g.sum.PushesTotal > 0 {
+			p.Sample("d2pr_ppr_pushes_total", []Label{{"graph", g.name}}, float64(g.sum.PushesTotal))
+		}
+	}
+	p.Family("d2pr_solve_last_residual", "gauge", "Final residual of the most recent solve, by graph.")
+	for _, g := range graphs {
+		p.Sample("d2pr_solve_last_residual", []Label{{"graph", g.name}}, g.sum.LastResidual)
+	}
+	p.Family("d2pr_admission_wait_seconds_total", "counter", "Cumulative time solves spent queued for an admission slot, by graph.")
+	for _, g := range graphs {
+		p.Sample("d2pr_admission_wait_seconds_total", []Label{{"graph", g.name}}, g.sum.AdmissionWaitMs/1e3)
+	}
+	p.Family("d2pr_engine_build_seconds", "gauge", "Largest observed pull-topology build time, by graph.")
+	for _, g := range graphs {
+		p.Sample("d2pr_engine_build_seconds", []Label{{"graph", g.name}}, g.sum.EngineBuildMs/1e3)
+	}
+	p.Family("d2pr_solve_duration_seconds", "histogram", "Solve-stage wall time by graph (log2 buckets).")
+	for _, g := range graphs {
+		p.HistogramSamples("d2pr_solve_duration_seconds", []Label{{"graph", g.name}}, g.hist)
+	}
+}
+
+// writeGoStats emits the standard Go runtime families: goroutines, heap, GC.
+// ReadMemStats stops the world for microseconds — fine at scrape frequency.
+func writeGoStats(p *PromWriter) {
+	p.Family("go_goroutines", "gauge", "Number of goroutines that currently exist.")
+	p.Sample("go_goroutines", nil, float64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.Family("go_memstats_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.")
+	p.Sample("go_memstats_heap_alloc_bytes", nil, float64(ms.HeapAlloc))
+	p.Family("go_memstats_heap_inuse_bytes", "gauge", "Bytes in in-use heap spans.")
+	p.Sample("go_memstats_heap_inuse_bytes", nil, float64(ms.HeapInuse))
+	p.Family("go_memstats_heap_objects", "gauge", "Number of allocated heap objects.")
+	p.Sample("go_memstats_heap_objects", nil, float64(ms.HeapObjects))
+	p.Family("go_memstats_alloc_bytes_total", "counter", "Cumulative bytes allocated for heap objects.")
+	p.Sample("go_memstats_alloc_bytes_total", nil, float64(ms.TotalAlloc))
+	p.Family("go_memstats_next_gc_bytes", "gauge", "Heap size at which the next GC cycle starts.")
+	p.Sample("go_memstats_next_gc_bytes", nil, float64(ms.NextGC))
+	p.Family("go_gc_cycles_total", "counter", "Completed GC cycles.")
+	p.Sample("go_gc_cycles_total", nil, float64(ms.NumGC))
+	p.Family("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.")
+	p.Sample("go_gc_pause_seconds_total", nil, float64(ms.PauseTotalNs)*1e-9)
+	p.Family("go_gc_cpu_fraction", "gauge", "Fraction of CPU time used by the GC since program start.")
+	p.Sample("go_gc_cpu_fraction", nil, ms.GCCPUFraction)
+}

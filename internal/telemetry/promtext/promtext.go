@@ -1,0 +1,450 @@
+// Package promtext is a strict parser for the Prometheus text exposition
+// format (version 0.0.4), built so the test suite can validate /metrics
+// scrapes structurally instead of grepping for substrings. It enforces the
+// rules real scrapers rely on and sloppy emitters break silently:
+//
+//   - every sample belongs to a family declared by a preceding # TYPE line;
+//   - a family's samples are contiguous (no interleaving) and its # TYPE
+//     appears exactly once;
+//   - no two samples share a name and label set (duplicate series);
+//   - histogram families are well-formed: le bounds strictly increase,
+//     cumulative bucket counts never decrease, the +Inf bucket exists, and
+//     _count equals the +Inf bucket with a _sum present;
+//   - names, labels, and values are syntactically valid, and the payload
+//     ends with a newline.
+//
+// It is a test dependency by design — the serving path never parses its own
+// exposition — but lives outside _test files so both the telemetry unit
+// tests and the server e2e tests share one validator.
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name (including _bucket/_sum/_count suffixes).
+	Name string
+	// Labels holds the label pairs in declaration order.
+	Labels []Label
+	Value  float64
+}
+
+// Label is one label pair.
+type Label struct {
+	Name, Value string
+}
+
+// Get returns the value of the named label and whether it was present.
+func (s Sample) Get(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Family is one declared metric family with its samples in order.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Help    string
+	Samples []Sample
+}
+
+// Sample name suffixes a histogram/summary family owns.
+var familySuffixes = []string{"_bucket", "_sum", "_count"}
+
+// baseName maps a sample name to its declaring family name given the set of
+// declared families: exact match first, then suffix-stripped for histogram
+// and summary families.
+func baseName(name string, families map[string]*Family) (string, bool) {
+	if _, ok := families[name]; ok {
+		return name, true
+	}
+	for _, suf := range familySuffixes {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		letter := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !letter && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse parses and validates a full exposition payload, returning the
+// families in declaration order.
+func Parse(data []byte) ([]Family, error) {
+	text := string(data)
+	if text != "" && !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("promtext: payload does not end with a newline")
+	}
+
+	families := map[string]*Family{}
+	var order []string
+	closed := map[string]bool{} // families whose sample block has ended
+	current := ""               // family of the preceding sample line, "" at start
+	seen := map[string]bool{}   // duplicate-series detection: name + canonical labels
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "TYPE "):
+				parts := strings.SplitN(strings.TrimPrefix(rest, "TYPE "), " ", 2)
+				if len(parts) != 2 {
+					return nil, fmt.Errorf("promtext: line %d: malformed TYPE line", lineNo)
+				}
+				name, typ := parts[0], parts[1]
+				if !validName(name) {
+					return nil, fmt.Errorf("promtext: line %d: invalid family name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("promtext: line %d: invalid family type %q", lineNo, typ)
+				}
+				if f, ok := families[name]; ok && f.Type != "" {
+					return nil, fmt.Errorf("promtext: line %d: duplicate TYPE for family %q", lineNo, name)
+				}
+				if closed[name] {
+					return nil, fmt.Errorf("promtext: line %d: TYPE for %q after its samples ended", lineNo, name)
+				}
+				f := families[name]
+				if f == nil {
+					f = &Family{Name: name}
+					families[name] = f
+					order = append(order, name)
+				}
+				f.Type = typ
+			case strings.HasPrefix(rest, "HELP "):
+				parts := strings.SplitN(strings.TrimPrefix(rest, "HELP "), " ", 2)
+				if len(parts) == 0 || !validName(parts[0]) {
+					return nil, fmt.Errorf("promtext: line %d: malformed HELP line", lineNo)
+				}
+				name := parts[0]
+				if closed[name] {
+					return nil, fmt.Errorf("promtext: line %d: HELP for %q after its samples ended", lineNo, name)
+				}
+				f := families[name]
+				if f == nil {
+					f = &Family{Name: name}
+					families[name] = f
+					order = append(order, name)
+				}
+				if len(parts) == 2 {
+					f.Help = parts[1]
+				}
+			default:
+				// Plain comment: ignored.
+			}
+			continue
+		}
+
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", lineNo, err)
+		}
+		fam, ok := baseName(sample.Name, families)
+		if !ok {
+			return nil, fmt.Errorf("promtext: line %d: sample %q has no preceding # TYPE declaration", lineNo, sample.Name)
+		}
+		if families[fam].Type == "" {
+			return nil, fmt.Errorf("promtext: line %d: sample %q declared by HELP only, missing TYPE", lineNo, sample.Name)
+		}
+		if fam != current {
+			if closed[fam] {
+				return nil, fmt.Errorf("promtext: line %d: family %q samples are interleaved with another family", lineNo, fam)
+			}
+			if current != "" {
+				closed[current] = true
+			}
+			current = fam
+		}
+		key := seriesKey(sample)
+		if seen[key] {
+			return nil, fmt.Errorf("promtext: line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		families[fam].Samples = append(families[fam].Samples, sample)
+	}
+
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		f := families[name]
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+// seriesKey canonicalizes a sample's identity: name plus sorted label pairs.
+func seriesKey(s Sample) string {
+	ls := make([]string, len(s.Labels))
+	for i, l := range s.Labels {
+		ls[i] = l.Name + "=" + strconv.Quote(l.Value)
+	}
+	sort.Strings(ls)
+	return s.Name + "{" + strings.Join(ls, ",") + "}"
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+
+	// Metric name.
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+
+	// Optional label block.
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("unterminated label block")
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !validLabelName(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return s, fmt.Errorf("label %q value is not quoted", lname)
+			}
+			val, remaining, err := unescapeLabelValue(rest[1:])
+			if err != nil {
+				return s, fmt.Errorf("label %q: %w", lname, err)
+			}
+			rest = remaining
+			for _, l := range s.Labels {
+				if l.Name == lname {
+					return s, fmt.Errorf("duplicate label %q", lname)
+				}
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: val})
+			rest = strings.TrimLeft(rest, " \t")
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if !strings.HasPrefix(rest, "}") {
+				return s, fmt.Errorf("expected ',' or '}' after label %q", lname)
+			}
+		}
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected `value [timestamp]`, got %q", strings.TrimSpace(rest))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// unescapeLabelValue consumes an escaped label value up to its closing quote,
+// returning the value and the remainder after the quote.
+func unescapeLabelValue(rest string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '"':
+			return b.String(), rest[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(rest) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch rest[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", rest[i])
+			}
+		default:
+			b.WriteByte(rest[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", s)
+	}
+	return v, nil
+}
+
+// validateHistogram checks every series of a histogram family: strictly
+// increasing le bounds, non-decreasing cumulative counts, a +Inf bucket,
+// _count equal to it, and a _sum present.
+func validateHistogram(f *Family) error {
+	type series struct {
+		bounds   []float64
+		counts   []float64
+		haveInf  bool
+		infCount float64
+		count    *float64
+		haveSum  bool
+	}
+	bySeries := map[string]*series{}
+	get := func(s Sample) *series {
+		stripped := s
+		stripped.Name = f.Name
+		var ls []Label
+		for _, l := range s.Labels {
+			if l.Name != "le" {
+				ls = append(ls, l)
+			}
+		}
+		stripped.Labels = ls
+		key := seriesKey(stripped)
+		sr := bySeries[key]
+		if sr == nil {
+			sr = &series{}
+			bySeries[key] = sr
+		}
+		return sr
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Get("le")
+			if !ok {
+				return fmt.Errorf("promtext: histogram %s: bucket sample without le label", f.Name)
+			}
+			sr := get(s)
+			if le == "+Inf" {
+				sr.haveInf = true
+				sr.infCount = s.Value
+				sr.bounds = append(sr.bounds, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("promtext: histogram %s: invalid le %q", f.Name, le)
+				}
+				sr.bounds = append(sr.bounds, b)
+			}
+			sr.counts = append(sr.counts, s.Value)
+		case f.Name + "_sum":
+			get(s).haveSum = true
+		case f.Name + "_count":
+			v := s.Value
+			get(s).count = &v
+		default:
+			return fmt.Errorf("promtext: histogram %s: stray sample %s", f.Name, s.Name)
+		}
+	}
+	for key, sr := range bySeries {
+		if !sr.haveInf {
+			return fmt.Errorf("promtext: histogram series %s has no +Inf bucket", key)
+		}
+		if !sr.haveSum {
+			return fmt.Errorf("promtext: histogram series %s has no _sum", key)
+		}
+		if sr.count == nil {
+			return fmt.Errorf("promtext: histogram series %s has no _count", key)
+		}
+		if *sr.count != sr.infCount {
+			return fmt.Errorf("promtext: histogram series %s: _count %v != +Inf bucket %v", key, *sr.count, sr.infCount)
+		}
+		for i := 1; i < len(sr.bounds); i++ {
+			if !(sr.bounds[i] > sr.bounds[i-1]) {
+				return fmt.Errorf("promtext: histogram series %s: le bounds not strictly increasing at %v", key, sr.bounds[i])
+			}
+			if sr.counts[i] < sr.counts[i-1] {
+				return fmt.Errorf("promtext: histogram series %s: cumulative counts decrease at le=%v", key, sr.bounds[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Find returns the family with the given name, if present.
+func Find(families []Family, name string) (Family, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

@@ -1,0 +1,158 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	payload := `# HELP http_requests_total Total requests.
+# TYPE http_requests_total counter
+http_requests_total{route="GET /a",class="2xx"} 12
+http_requests_total{route="GET /a",class="4xx"} 3
+# TYPE up gauge
+up 1
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 4
+latency_seconds_bucket{le="1"} 9
+latency_seconds_bucket{le="+Inf"} 10
+latency_seconds_sum 3.5
+latency_seconds_count 10
+`
+	fams, err := Parse([]byte(payload))
+	if err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	f, ok := Find(fams, "http_requests_total")
+	if !ok || f.Type != "counter" || len(f.Samples) != 2 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if route, _ := f.Samples[0].Get("route"); route != "GET /a" {
+		t.Errorf("label lost: %+v", f.Samples[0])
+	}
+	h, _ := Find(fams, "latency_seconds")
+	if h.Type != "histogram" || len(h.Samples) != 5 {
+		t.Fatalf("histogram family wrong: %+v", h)
+	}
+	if !math.IsInf(h.Samples[2].Value, 0) && h.Samples[2].Value != 10 {
+		t.Errorf("+Inf bucket sample wrong: %+v", h.Samples[2])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	payload := "# TYPE m counter\n" +
+		`m{route="GET /x \"q\" \\ and\nnewline"} 1` + "\n"
+	fams, err := Parse([]byte(payload))
+	if err != nil {
+		t.Fatalf("escaped payload rejected: %v", err)
+	}
+	got, _ := fams[0].Samples[0].Get("route")
+	want := "GET /x \"q\" \\ and\nnewline"
+	if got != want {
+		t.Errorf("unescaped label = %q, want %q", got, want)
+	}
+}
+
+func TestParseRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		errSub  string
+	}{
+		{
+			"no trailing newline",
+			"# TYPE m counter\nm 1",
+			"newline",
+		},
+		{
+			"sample without TYPE",
+			"m 1\n",
+			"no preceding # TYPE",
+		},
+		{
+			"duplicate TYPE",
+			"# TYPE m counter\nm 1\n# TYPE m counter\n",
+			"duplicate TYPE",
+		},
+		{
+			"invalid type name",
+			"# TYPE m countr\nm 1\n",
+			"invalid family type",
+		},
+		{
+			"interleaved families",
+			"# TYPE a counter\n# TYPE b counter\na 1\nb 1\na 2\n",
+			"interleaved",
+		},
+		{
+			"duplicate series",
+			"# TYPE m counter\nm{x=\"1\"} 1\nm{x=\"1\"} 2\n",
+			"duplicate series",
+		},
+		{
+			"histogram without +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"no +Inf",
+		},
+		{
+			"histogram count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count",
+		},
+		{
+			"histogram decreasing cumulative",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"decrease",
+		},
+		{
+			"histogram unsorted bounds",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"strictly increasing",
+		},
+		{
+			"histogram missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"_sum",
+		},
+		{
+			"bad value",
+			"# TYPE m counter\nm one\n",
+			"invalid sample value",
+		},
+		{
+			"unterminated label",
+			"# TYPE m counter\nm{x=\"1 1\n",
+			"unterminated",
+		},
+		{
+			"duplicate label",
+			"# TYPE m counter\nm{x=\"1\",x=\"2\"} 1\n",
+			"duplicate label",
+		},
+		{
+			"bad escape",
+			"# TYPE m counter\nm{x=\"\\t\"} 1\n",
+			"invalid escape",
+		},
+		{
+			"invalid metric name",
+			"# TYPE m counter\n1m 1\n",
+			"invalid metric name",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.payload))
+			if err == nil {
+				t.Fatalf("payload accepted, want error containing %q", c.errSub)
+			}
+			if !strings.Contains(err.Error(), c.errSub) {
+				t.Errorf("error = %q, want it to contain %q", err, c.errSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,301 @@
+// Package telemetry is the serving layer's observability core: wait-free
+// request counters and log2-bucketed latency histograms keyed by route ×
+// status class, per-graph solver statistics (iterations, residuals, pushes,
+// admission wait), and a Prometheus text-format exposition of all of it plus
+// Go runtime stats. The hot path — Record and RecordSolve — takes no locks:
+// every counter is an atomic and the route/graph tables are sync.Maps whose
+// entries are created once and then only atomically updated, so a fully
+// saturated server measures itself without a global mutex serializing its
+// request completions.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SolveStats carries the per-solve telemetry a compute path produces: what
+// the solver did (iterations, residual, pushes) and where the wall-clock
+// went (engine build, admission queue, solve proper). It travels from
+// core → rankspec → the caches' compute closures → the server, which surfaces
+// it as Server-Timing headers and aggregates it here.
+type SolveStats struct {
+	// Algo is the rankspec algorithm name ("d2pr", "pagerank", "hits",
+	// "degree", or "ppr").
+	Algo string
+	// Iterations is the power-iteration count (0 for push/degree solves).
+	Iterations int
+	// Residual is the solver's final L1 residual; for forward push it is the
+	// un-pushed residual mass.
+	Residual float64
+	// Converged reports whether the solver met its tolerance. Push and
+	// degree solves always "converge" (they run to their own termination
+	// criterion), so only iterative solves can report false.
+	Converged bool
+	// Pushes counts forward-push operations (PPR solves only).
+	Pushes int
+	// EngineBuild is the time spent materializing the pull topology. ~0
+	// whenever the graph's engine was already cached.
+	EngineBuild time.Duration
+	// AdmissionWait is the time spent queued for an admission slot.
+	AdmissionWait time.Duration
+	// Solve is the wall-clock of the solve stage itself (transition build +
+	// iteration/push + top-k selection).
+	Solve time.Duration
+}
+
+// Status classes for route bucketing: 1xx…5xx.
+const numClasses = 5
+
+var classNames = [numClasses]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+func classIndex(status int) int {
+	c := status/100 - 1
+	if c < 0 {
+		c = 0
+	}
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	return c
+}
+
+// classStats is one route × status-class series.
+type classStats struct {
+	count atomic.Uint64
+	hist  Histogram
+}
+
+// routeStats holds one route's per-class series. Allocated once per route on
+// first sight, then never written except through atomics.
+type routeStats struct {
+	classes [numClasses]classStats
+}
+
+// graphStats aggregates solver telemetry for one graph.
+type graphStats struct {
+	solves      atomic.Uint64 // iterative + degree solves
+	pprSolves   atomic.Uint64 // forward-push solves
+	solveErrors atomic.Uint64
+	unconverged atomic.Uint64
+	iterations  atomic.Uint64
+	pushes      atomic.Uint64
+	// lastResidual is Float64bits of the most recent solve's residual.
+	lastResidual atomic.Uint64
+	admWaitNs    atomic.Int64
+	// engineBuildNs keeps the maximum observed build time: the first solve
+	// pays the real transpose, later ones see a cached engine (~0), and the
+	// max is the number capacity planning wants.
+	engineBuildNs atomic.Int64
+	hist          Histogram // solve-stage wall time
+}
+
+// Registry is the process-wide telemetry sink. All methods are safe for
+// concurrent use; the zero value is not usable — construct with NewRegistry.
+type Registry struct {
+	start        time.Time
+	requests     atomic.Uint64
+	errors       atomic.Uint64 // status ≥ 400, except 499
+	clientClosed atomic.Uint64 // 499: client went away first
+	deadlines    atomic.Uint64 // 504: compute deadline expired
+	totalNs      atomic.Int64  // summed request latency
+
+	routes sync.Map // route pattern → *routeStats
+	graphs sync.Map // graph name → *graphStats
+}
+
+// NewRegistry returns an empty registry with its uptime clock started.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// Start returns when the registry was created (the server's start time).
+func (r *Registry) Start() time.Time { return r.start }
+
+func (r *Registry) route(pattern string) *routeStats {
+	if v, ok := r.routes.Load(pattern); ok {
+		return v.(*routeStats)
+	}
+	v, _ := r.routes.LoadOrStore(pattern, &routeStats{})
+	return v.(*routeStats)
+}
+
+func (r *Registry) graph(name string) *graphStats {
+	if v, ok := r.graphs.Load(name); ok {
+		return v.(*graphStats)
+	}
+	v, _ := r.graphs.LoadOrStore(name, &graphStats{})
+	return v.(*graphStats)
+}
+
+// Record logs one completed request. 499 (client closed before the response)
+// is deliberately not an error — a disconnect-heavy tail would otherwise fake
+// a high error rate — and is counted in its own series; 504 additionally
+// feeds the deadline counter, so no caller needs to count deadline
+// expirations by hand.
+func (r *Registry) Record(route string, status int, elapsed time.Duration) {
+	r.requests.Add(1)
+	r.totalNs.Add(int64(elapsed))
+	switch {
+	case status == 499:
+		r.clientClosed.Add(1)
+	case status >= 400:
+		r.errors.Add(1)
+	}
+	if status == 504 {
+		r.deadlines.Add(1)
+	}
+	cs := &r.route(route).classes[classIndex(status)]
+	cs.count.Add(1)
+	cs.hist.Observe(elapsed)
+}
+
+// RecordSolve aggregates one finished solve into the graph's series. It is
+// called from inside the caches' compute closures, so solves abandoned by
+// their requester (deadline expired, client gone) are still accounted for.
+func (r *Registry) RecordSolve(graph string, st SolveStats) {
+	gs := r.graph(graph)
+	if st.Algo == "ppr" {
+		gs.pprSolves.Add(1)
+		gs.pushes.Add(uint64(st.Pushes))
+	} else {
+		gs.solves.Add(1)
+	}
+	gs.iterations.Add(uint64(st.Iterations))
+	if !st.Converged {
+		gs.unconverged.Add(1)
+	}
+	gs.lastResidual.Store(math.Float64bits(st.Residual))
+	gs.admWaitNs.Add(int64(st.AdmissionWait))
+	if b := int64(st.EngineBuild); b > 0 {
+		for {
+			old := gs.engineBuildNs.Load()
+			if b <= old || gs.engineBuildNs.CompareAndSwap(old, b) {
+				break
+			}
+		}
+	}
+	gs.hist.Observe(st.Solve)
+}
+
+// RecordSolveError counts a failed solve attempt against the graph (the
+// request-level failure is counted separately by Record).
+func (r *Registry) RecordSolveError(graph string) {
+	r.graph(graph).solveErrors.Add(1)
+}
+
+// Requests returns the total request count.
+func (r *Registry) Requests() uint64 { return r.requests.Load() }
+
+// Errors returns the count of status ≥ 400 responses, excluding 499.
+func (r *Registry) Errors() uint64 { return r.errors.Load() }
+
+// ClientClosed returns the count of 499 responses.
+func (r *Registry) ClientClosed() uint64 { return r.clientClosed.Load() }
+
+// Deadlines returns the count of 504 responses.
+func (r *Registry) Deadlines() uint64 { return r.deadlines.Load() }
+
+// AvgLatencyMs returns the mean request latency in milliseconds.
+func (r *Registry) AvgLatencyMs() float64 {
+	n := r.requests.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.totalNs.Load()) / 1e6 / float64(n)
+}
+
+// RouteSummary is the JSON-facing per-route aggregate: total count, error
+// count, and latency percentiles across all status classes.
+type RouteSummary struct {
+	Route  string  `json:"route"`
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors,omitempty"`
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P95Ms  float64 `json:"p95_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// RouteSummaries returns one summary per observed route, sorted by route.
+func (r *Registry) RouteSummaries() []RouteSummary {
+	var out []RouteSummary
+	r.routes.Range(func(k, v any) bool {
+		rs := v.(*routeStats)
+		sum := RouteSummary{Route: k.(string)}
+		var merged HistogramSnapshot
+		for ci := range rs.classes {
+			cs := &rs.classes[ci]
+			c := cs.count.Load()
+			if c == 0 {
+				continue
+			}
+			sum.Count += c
+			if ci >= classIndex(400) {
+				sum.Errors += c
+			}
+			merged.merge(cs.hist.Snapshot())
+		}
+		sum.P50Ms = ms(merged.Quantile(0.50))
+		sum.P95Ms = ms(merged.Quantile(0.95))
+		sum.P99Ms = ms(merged.Quantile(0.99))
+		out = append(out, sum)
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].Route < out[b].Route })
+	return out
+}
+
+// GraphSummary is the JSON-facing per-graph solver aggregate.
+type GraphSummary struct {
+	Graph           string  `json:"graph"`
+	Solves          uint64  `json:"solves"`
+	PPRSolves       uint64  `json:"ppr_solves,omitempty"`
+	SolveErrors     uint64  `json:"solve_errors,omitempty"`
+	Unconverged     uint64  `json:"unconverged,omitempty"`
+	IterationsTotal uint64  `json:"iterations_total"`
+	MeanIterations  float64 `json:"mean_iterations,omitempty"`
+	PushesTotal     uint64  `json:"pushes_total,omitempty"`
+	LastResidual    float64 `json:"last_residual"`
+	AdmissionWaitMs float64 `json:"admission_wait_ms_total,omitempty"`
+	EngineBuildMs   float64 `json:"engine_build_ms,omitempty"`
+	SolveP50Ms      float64 `json:"solve_p50_ms,omitempty"`
+	SolveP95Ms      float64 `json:"solve_p95_ms,omitempty"`
+	SolveP99Ms      float64 `json:"solve_p99_ms,omitempty"`
+}
+
+// GraphSummaries returns one summary per graph with recorded solves, sorted
+// by graph name.
+func (r *Registry) GraphSummaries() []GraphSummary {
+	var out []GraphSummary
+	r.graphs.Range(func(k, v any) bool {
+		gs := v.(*graphStats)
+		snap := gs.hist.Snapshot()
+		sum := GraphSummary{
+			Graph:           k.(string),
+			Solves:          gs.solves.Load(),
+			PPRSolves:       gs.pprSolves.Load(),
+			SolveErrors:     gs.solveErrors.Load(),
+			Unconverged:     gs.unconverged.Load(),
+			IterationsTotal: gs.iterations.Load(),
+			PushesTotal:     gs.pushes.Load(),
+			LastResidual:    math.Float64frombits(gs.lastResidual.Load()),
+			AdmissionWaitMs: float64(gs.admWaitNs.Load()) / 1e6,
+			EngineBuildMs:   float64(gs.engineBuildNs.Load()) / 1e6,
+			SolveP50Ms:      ms(snap.Quantile(0.50)),
+			SolveP95Ms:      ms(snap.Quantile(0.95)),
+			SolveP99Ms:      ms(snap.Quantile(0.99)),
+		}
+		if n := sum.Solves + sum.PPRSolves; n > 0 {
+			sum.MeanIterations = float64(sum.IterationsTotal) / float64(n)
+		}
+		out = append(out, sum)
+		return true
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].Graph < out[b].Graph })
+	return out
+}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"d2pr/internal/telemetry/promtext"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 0},
+		{1 << histMinExp, 0},                // exactly the first bound → first bucket (le semantics)
+		{1<<histMinExp + 1, 1},              // one past → next bucket
+		{1 << (histMinExp + 1), 1},          // exactly the second bound
+		{1 << histMaxExp, numFinite - 1},    // last finite bound
+		{1<<histMaxExp + 1, numFinite},      // just past → overflow
+		{time.Duration(1) << 62, numFinite}, // far past → overflow
+		{100 * time.Millisecond, bucketIndex(100 * time.Millisecond)}, // self-consistent
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestBucketLeInvariant checks the property the Prometheus `le` label
+// depends on: every observation lands in a bucket whose upper bound is >= it.
+func TestBucketLeInvariant(t *testing.T) {
+	for exp := 0; exp < 40; exp++ {
+		for _, off := range []int64{-1, 0, 1} {
+			ns := int64(1)<<exp + off
+			if ns <= 0 {
+				continue
+			}
+			i := bucketIndex(time.Duration(ns))
+			if i < numFinite && ns > bucketBoundNs(i) {
+				t.Errorf("duration %d placed in bucket %d with bound %d (bound < value)", ns, i, bucketBoundNs(i))
+			}
+			if i > 0 && ns <= bucketBoundNs(i-1) {
+				t.Errorf("duration %d placed in bucket %d but fits bucket %d (bound %d)", ns, i, i-1, bucketBoundNs(i-1))
+			}
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations at ~1ms, 1 at ~1s: p50 must sit in the 1ms octave,
+	// p99.9... near the outlier's octave.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	snap := h.Snapshot()
+	if snap.Count != 101 {
+		t.Fatalf("count = %d, want 101", snap.Count)
+	}
+	p50 := snap.Quantile(0.5)
+	if p50 <= 0 || p50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v, want within the 1ms octave", p50)
+	}
+	p100 := snap.Quantile(1)
+	if p100 < 500*time.Millisecond {
+		t.Errorf("p100 = %v, want near the 1s outlier", p100)
+	}
+	// Quantiles must be monotone in q.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		v := snap.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRecordClassification(t *testing.T) {
+	r := NewRegistry()
+	r.Record("GET /a", 200, time.Millisecond)
+	r.Record("GET /a", 200, time.Millisecond)
+	r.Record("GET /a", 404, time.Millisecond)
+	r.Record("GET /a", 499, time.Millisecond)
+	r.Record("GET /a", 504, time.Millisecond)
+	if got := r.Requests(); got != 5 {
+		t.Errorf("requests = %d, want 5", got)
+	}
+	// 404 and 504 are errors; 499 is not.
+	if got := r.Errors(); got != 2 {
+		t.Errorf("errors = %d, want 2 (499 must not count)", got)
+	}
+	if got := r.ClientClosed(); got != 1 {
+		t.Errorf("client_closed = %d, want 1", got)
+	}
+	if got := r.Deadlines(); got != 1 {
+		t.Errorf("deadlines = %d, want 1", got)
+	}
+	sums := r.RouteSummaries()
+	if len(sums) != 1 || sums[0].Route != "GET /a" {
+		t.Fatalf("route summaries = %+v", sums)
+	}
+	if sums[0].Count != 5 {
+		t.Errorf("route count = %d, want 5", sums[0].Count)
+	}
+	// RouteSummary.Errors is class-based (4xx+5xx), so the 499 counts here
+	// even though it is excluded from the global error counter.
+	if sums[0].Errors != 3 {
+		t.Errorf("route errors = %d, want 3 (404 and 499 in 4xx class, 504 in 5xx)", sums[0].Errors)
+	}
+	if sums[0].P50Ms <= 0 || sums[0].P99Ms < sums[0].P50Ms {
+		t.Errorf("percentiles not sane: %+v", sums[0])
+	}
+}
+
+func TestRecordSolve(t *testing.T) {
+	r := NewRegistry()
+	r.RecordSolve("g", SolveStats{
+		Algo: "d2pr", Iterations: 40, Residual: 1e-9, Converged: true,
+		EngineBuild: 5 * time.Millisecond, AdmissionWait: time.Millisecond, Solve: 2 * time.Millisecond,
+	})
+	r.RecordSolve("g", SolveStats{
+		Algo: "d2pr", Iterations: 60, Residual: 3e-9, Converged: false,
+		EngineBuild: time.Millisecond, Solve: 3 * time.Millisecond,
+	})
+	r.RecordSolve("g", SolveStats{
+		Algo: "ppr", Pushes: 1234, Residual: 1e-7, Converged: true, Solve: time.Millisecond,
+	})
+	r.RecordSolveError("g")
+	sums := r.GraphSummaries()
+	if len(sums) != 1 {
+		t.Fatalf("graph summaries = %+v", sums)
+	}
+	g := sums[0]
+	if g.Solves != 2 || g.PPRSolves != 1 || g.SolveErrors != 1 || g.Unconverged != 1 {
+		t.Errorf("counts wrong: %+v", g)
+	}
+	if g.IterationsTotal != 100 || g.PushesTotal != 1234 {
+		t.Errorf("work totals wrong: %+v", g)
+	}
+	if g.LastResidual != 1e-7 {
+		t.Errorf("last residual = %v, want 1e-7 (most recent solve)", g.LastResidual)
+	}
+	// Engine build keeps the max (the real transpose), not the latest.
+	if g.EngineBuildMs != 5 {
+		t.Errorf("engine build = %vms, want 5 (max observed)", g.EngineBuildMs)
+	}
+	if g.AdmissionWaitMs != 1 {
+		t.Errorf("admission wait = %vms, want 1", g.AdmissionWaitMs)
+	}
+	if g.MeanIterations == 0 || g.SolveP50Ms <= 0 {
+		t.Errorf("derived stats missing: %+v", g)
+	}
+}
+
+// TestRecordConcurrent drives the hot path from many goroutines; run with
+// -race this doubles as the data-race check for the lock-free design.
+func TestRecordConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				status := 200
+				if i%10 == 0 {
+					status = 500
+				}
+				r.Record("GET /x", status, time.Duration(i)*time.Microsecond)
+				if i%50 == 0 {
+					r.RecordSolve("g", SolveStats{Algo: "d2pr", Iterations: 1, Converged: true, Solve: time.Microsecond})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Requests(); got != goroutines*per {
+		t.Errorf("requests = %d, want %d", got, goroutines*per)
+	}
+	if got := r.Errors(); got != goroutines*per/10 {
+		t.Errorf("errors = %d, want %d", got, goroutines*per/10)
+	}
+	sums := r.RouteSummaries()
+	if len(sums) != 1 || sums[0].Count != goroutines*per {
+		t.Errorf("route summary = %+v", sums)
+	}
+}
+
+// TestWritePrometheusParses renders a populated registry and feeds the output
+// through the strict text-format parser: family contiguity, histogram
+// invariants, and duplicate detection are all enforced there.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Record("GET /v1/{graph}/rank", 200, 3*time.Millisecond)
+	r.Record("GET /v1/{graph}/rank", 200, 5*time.Millisecond)
+	r.Record("GET /v1/{graph}/rank", 404, time.Millisecond)
+	r.Record("GET /metrics", 200, 100*time.Microsecond)
+	r.Record(`GET /odd"route\with{chars}`, 200, time.Millisecond)
+	r.RecordSolve("paper-graph", SolveStats{Algo: "d2pr", Iterations: 42, Residual: 1e-9, Converged: true, Solve: 2 * time.Millisecond, EngineBuild: time.Millisecond})
+	r.RecordSolve("paper-graph", SolveStats{Algo: "ppr", Pushes: 99, Residual: 1e-7, Converged: true, Solve: time.Millisecond})
+	r.RecordSolveError("paper-graph")
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	r.WritePrometheus(p)
+	if err := p.Err(); err != nil {
+		t.Fatalf("write error: %v", err)
+	}
+	fams, err := promtext.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	want := map[string]string{
+		"d2pr_uptime_seconds":                        "gauge",
+		"d2pr_http_requests_total":                   "counter",
+		"d2pr_http_errors_total":                     "counter",
+		"d2pr_http_client_closed_total":              "counter",
+		"d2pr_http_deadline_exceeded_total":          "counter",
+		"d2pr_http_request_duration_seconds":         "histogram",
+		"d2pr_http_request_latency_quantile_seconds": "gauge",
+		"d2pr_solves_total":                          "counter",
+		"d2pr_solve_errors_total":                    "counter",
+		"d2pr_solve_iterations_total":                "counter",
+		"d2pr_ppr_pushes_total":                      "counter",
+		"d2pr_solve_last_residual":                   "gauge",
+		"d2pr_solve_duration_seconds":                "histogram",
+		"go_goroutines":                              "gauge",
+		"go_gc_cycles_total":                         "counter",
+	}
+	for name, typ := range want {
+		f, ok := promtext.Find(fams, name)
+		if !ok {
+			t.Errorf("family %s missing", name)
+			continue
+		}
+		if f.Type != typ {
+			t.Errorf("family %s type = %s, want %s", name, f.Type, typ)
+		}
+	}
+	// Spot-check values: per-class request counts and the solve kinds.
+	reqs, _ := promtext.Find(fams, "d2pr_http_requests_total")
+	var got2xx, got4xx float64
+	for _, s := range reqs.Samples {
+		route, _ := s.Get("route")
+		if route == "GET /v1/{graph}/rank" {
+			class, _ := s.Get("class")
+			switch class {
+			case "2xx":
+				got2xx = s.Value
+			case "4xx":
+				got4xx = s.Value
+			}
+		}
+	}
+	if got2xx != 2 || got4xx != 1 {
+		t.Errorf("rank route classes = 2xx:%v 4xx:%v, want 2/1", got2xx, got4xx)
+	}
+	solves, _ := promtext.Find(fams, "d2pr_solves_total")
+	kinds := map[string]float64{}
+	for _, s := range solves.Samples {
+		kind, _ := s.Get("kind")
+		kinds[kind] = s.Value
+	}
+	if kinds["iterative"] != 1 || kinds["push"] != 1 {
+		t.Errorf("solve kinds = %v, want iterative:1 push:1", kinds)
+	}
+	// The escaped route must round-trip through the parser intact.
+	var found bool
+	for _, s := range reqs.Samples {
+		if route, _ := s.Get("route"); route == `GET /odd"route\with{chars}` {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped route label did not round-trip")
+	}
+}
+
+func BenchmarkRegistryRecord(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Record("GET /v1/{graph}/rank", 200, 3*time.Millisecond)
+		}
+	})
+}

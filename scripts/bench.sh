@@ -5,7 +5,9 @@
 # perf trajectory to compare against:
 #
 #   BENCH_serve.json — serving layer (internal/server): cold solve, warm
-#                      cache hit, 20-config batch-vs-sequential sweep.
+#                      cache hit, 20-config batch-vs-sequential sweep, warm
+#                      personalized (/ppr) hit, and the parallel telemetry
+#                      middleware overhead (BenchmarkMiddlewareRecord).
 #   BENCH_core.json  — solver engine (internal/core) + personalized path
 #                      (internal/pprcache): cold (re-transpose) vs warm
 #                      (cached-engine) solve, implicit-uniform solve, node-
@@ -85,5 +87,5 @@ run_suite() {
   echo "wrote $out"
 }
 
-run_suite ./internal/server 'BenchmarkRankRequest|BenchmarkSweep20' "$OUTDIR/BENCH_serve.json"
+run_suite ./internal/server 'BenchmarkRankRequest|BenchmarkSweep20|BenchmarkPPRRequest|BenchmarkMiddleware' "$OUTDIR/BENCH_serve.json"
 run_suite "./internal/core ./internal/pprcache" 'BenchmarkCore|BenchmarkPPR' "$OUTDIR/BENCH_core.json"
