@@ -14,11 +14,19 @@
 // -warm precomputes the given d2pr de-coupling weights for every registered
 // graph in the background at startup.
 //
-// Endpoints: /healthz, /metrics, /v1/graphs, /v1/{graph}/info,
-// /v1/{graph}/rank, /v1/{graph}/rank/batch, /v1/{graph}/ppr,
-// /v1/{graph}/ppr/batch, /v1/{graph}/topk, /v1/{graph}/node/{id},
-// /v1/{graph}/correlate, /v1/jobs[/{id}[/results]] — see docs/server-api.md
-// for the full contract.
+// Endpoints: /healthz, /readyz, /metrics, /v1/graphs,
+// /v1/graphs/{graph}/reload, /v1/{graph}/info, /v1/{graph}/rank,
+// /v1/{graph}/rank/batch, /v1/{graph}/ppr, /v1/{graph}/ppr/batch,
+// /v1/{graph}/topk, /v1/{graph}/node/{id}, /v1/{graph}/correlate,
+// /v1/jobs[/{id}[/results]] — see docs/server-api.md for the full contract
+// and docs/operations.md for the lifecycle/probe runbook.
+//
+// Graphs live behind epoch-versioned snapshots: POST
+// /v1/graphs/{graph}/reload (or -reload-interval for periodic refresh)
+// materializes a shadow copy off the request path and swaps it atomically;
+// a failed load keeps the previous snapshot serving and, after
+// -max-load-retries consecutive failures, quarantines the graph until an
+// operator reloads it.
 //
 // Personalized PageRank requests (/v1/{graph}/ppr) run forward push per
 // seed and cache the top-k per (seed, α, ε, k) in a dedicated sharded cache
@@ -60,6 +68,7 @@ import (
 
 	"d2pr/internal/dataset"
 	"d2pr/internal/graph"
+	"d2pr/internal/lifecycle"
 	"d2pr/internal/registry"
 	"d2pr/internal/server"
 )
@@ -90,10 +99,15 @@ func main() {
 		maxReqTimeout = flag.Duration("max-request-timeout", 0, "cap on per-request ?timeout= overrides (0 = default 1m)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent solves admitted per graph (0 = default 4)")
 		queueDepth    = flag.Int("queue-depth", 0, "solve requests queued per graph before shedding with 429 (0 = default 16, negative = no queue)")
+
+		reloadEvery = flag.Duration("reload-interval", 0, "periodically re-materialize every loaded graph from its source (0 = disabled; quarantined and unmaterialized graphs are skipped)")
+		maxRetries  = flag.Int("max-load-retries", 0, "consecutive load failures before a graph is quarantined (0 = default 5, negative = retry forever)")
 	)
 	flag.Parse()
 
-	reg := registry.New()
+	reg := registry.NewWith(registry.Options{
+		Backoff: lifecycle.Config{MaxRetries: *maxRetries},
+	})
 	dsCfg := dataset.Config{Scale: *scale, Seed: *seed}
 
 	if *graphsDir != "" {
@@ -190,6 +204,37 @@ func main() {
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *reloadEvery > 0 {
+		// Periodic refresh: each tick offers every graph a TryReload, which
+		// skips unmaterialized entries (laziness preserved), quarantined ones
+		// (leaving quarantine is an operator decision via POST .../reload),
+		// and entries inside a failure-backoff window. The shadow load runs
+		// on this goroutine; serving traffic keeps resolving the old
+		// snapshot until the atomic swap.
+		go func() {
+			t := time.NewTicker(*reloadEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					for _, name := range reg.Names() {
+						st, attempted, err := reg.TryReload(name)
+						if !attempted {
+							continue
+						}
+						if err != nil {
+							log.Printf("auto-reload %s failed (state %s, retries %d): %v", name, st.State, st.Retries, err)
+						} else {
+							log.Printf("auto-reload %s: epoch %d (%s)", name, st.Epoch, st.Checksum)
+						}
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() {

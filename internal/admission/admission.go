@@ -183,6 +183,18 @@ func (c *Controller) Deadline(ctx context.Context, override time.Duration) (cont
 	return context.WithTimeout(ctx, d)
 }
 
+// QueueDepth returns how many acquisitions are currently queued for the named
+// graph's budget — the input for deriving a Retry-After hint on shed
+// responses: a deeper queue means a longer wait before a retry can help.
+func (c *Controller) QueueDepth(graph string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.graphs[graph]; ok {
+		return b.queued
+	}
+	return 0
+}
+
 // Stats returns a snapshot of the controller's counters.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()

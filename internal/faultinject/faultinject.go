@@ -1,0 +1,162 @@
+// Package faultinject is the test-only fault registry behind the chaos
+// suite: named injection points threaded through the serving stack (registry
+// loads, engine builds, cache compute closures) that are inert in production
+// and, when enabled by a test, return errors, inject latency, or panic on
+// demand.
+//
+// The production cost is one atomic load per injection point: Fire returns
+// immediately unless Enable was called, and nothing in the shipping binary
+// calls Enable — only tests do (always paired with a deferred Disable).
+// Faults are armed per (point, name) with "" as the any-name wildcard, and
+// can be limited to a firing count so a test can script "fail twice, then
+// succeed" recovery sequences.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one injection site in the serving stack.
+type Point string
+
+// The injection points threaded through the codebase. The name passed to
+// Fire is the graph name at every one of them.
+const (
+	// PointRegistryLoad fires inside a registry entry's materialization,
+	// before the real loader runs.
+	PointRegistryLoad Point = "registry/load"
+	// PointEngineBuild fires inside Snapshot.Engine before the pull topology
+	// is built. Err is meaningless here (Engine cannot fail); use Delay or
+	// Panic.
+	PointEngineBuild Point = "engine/build"
+	// PointRankCompute fires inside the rank cache's compute closure, after
+	// admission but before the solve.
+	PointRankCompute Point = "rankcache/compute"
+	// PointPPRCompute fires inside the PPR cache's compute closure.
+	PointPPRCompute Point = "pprcache/compute"
+)
+
+// Fault describes what an armed injection point does when it fires. Delay
+// applies first, then Panic, then Err — a single fault can model a slow
+// failure.
+type Fault struct {
+	// Err is returned from Fire (injection sites propagate it as the
+	// operation's failure). Wrap with lifecycle.Permanent to simulate
+	// corrupt-input failures.
+	Err error
+	// Delay is slept before anything else — simulated slow I/O.
+	Delay time.Duration
+	// Panic, when non-nil, is raised with panic() — simulated compute bug.
+	Panic any
+	// Count limits how many times the fault fires before disarming itself.
+	// 0 means unlimited.
+	Count int
+}
+
+// armed is one registered fault plus its remaining-firings budget.
+type armed struct {
+	fault     Fault
+	remaining int // <0 = unlimited
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	faults  map[string]*armed
+	fired   map[Point]int
+)
+
+func key(p Point, name string) string { return string(p) + "\x00" + name }
+
+// Enable turns the registry on. Tests call it once and defer Disable; the
+// production binary never does, keeping Fire a single atomic load.
+func Enable() {
+	mu.Lock()
+	if faults == nil {
+		faults = map[string]*armed{}
+		fired = map[Point]int{}
+	}
+	mu.Unlock()
+	enabled.Store(true)
+}
+
+// Disable turns the registry off and clears every armed fault and counter.
+func Disable() {
+	enabled.Store(false)
+	mu.Lock()
+	faults = map[string]*armed{}
+	fired = map[Point]int{}
+	mu.Unlock()
+}
+
+// Arm registers a fault at (point, name). name "" is a wildcard matched by
+// every Fire at the point; a name-specific fault takes precedence over the
+// wildcard. Re-arming the same (point, name) replaces the previous fault.
+func Arm(p Point, name string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if faults == nil {
+		faults = map[string]*armed{}
+		fired = map[Point]int{}
+	}
+	a := &armed{fault: f, remaining: -1}
+	if f.Count > 0 {
+		a.remaining = f.Count
+	}
+	faults[key(p, name)] = a
+}
+
+// Disarm removes the fault at (point, name), if any.
+func Disarm(p Point, name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(faults, key(p, name))
+}
+
+// Fired returns how many times faults at the point have fired since the last
+// Disable — the chaos suite's assertion hook.
+func Fired(p Point) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return fired[p]
+}
+
+// Fire is called at every injection site. Disabled (the production state) it
+// costs one atomic load and returns nil. Enabled, it looks up the
+// name-specific fault, falling back to the point's wildcard; an armed fault
+// sleeps Delay, raises Panic, and/or returns Err, consuming one firing of a
+// counted fault.
+func Fire(p Point, name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	a, ok := faults[key(p, name)]
+	if !ok {
+		a, ok = faults[key(p, "")]
+	}
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	if a.remaining == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if a.remaining > 0 {
+		a.remaining--
+	}
+	fired[p]++
+	f := a.fault
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}

@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsInert(t *testing.T) {
+	Disable()
+	Arm(PointRegistryLoad, "g", Fault{Err: errors.New("boom")})
+	if err := Fire(PointRegistryLoad, "g"); err != nil {
+		t.Errorf("disabled registry fired: %v", err)
+	}
+}
+
+func TestNameAndWildcardMatching(t *testing.T) {
+	Enable()
+	defer Disable()
+	boom := errors.New("boom")
+	wild := errors.New("wildcard boom")
+	Arm(PointRegistryLoad, "g", Fault{Err: boom})
+	Arm(PointRegistryLoad, "", Fault{Err: wild})
+
+	if err := Fire(PointRegistryLoad, "g"); !errors.Is(err, boom) {
+		t.Errorf("name-specific fault must win over wildcard, got %v", err)
+	}
+	if err := Fire(PointRegistryLoad, "other"); !errors.Is(err, wild) {
+		t.Errorf("wildcard must catch unmatched names, got %v", err)
+	}
+	if err := Fire(PointEngineBuild, "g"); err != nil {
+		t.Errorf("unarmed point fired: %v", err)
+	}
+	if got := Fired(PointRegistryLoad); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestCountedFaultExhausts(t *testing.T) {
+	Enable()
+	defer Disable()
+	boom := errors.New("twice")
+	Arm(PointRankCompute, "g", Fault{Err: boom, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Fire(PointRankCompute, "g"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	if err := Fire(PointRankCompute, "g"); err != nil {
+		t.Errorf("exhausted fault still fires: %v", err)
+	}
+	if got := Fired(PointRankCompute); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestDisarmAndDisableClear(t *testing.T) {
+	Enable()
+	Arm(PointPPRCompute, "g", Fault{Err: errors.New("x")})
+	Disarm(PointPPRCompute, "g")
+	if err := Fire(PointPPRCompute, "g"); err != nil {
+		t.Errorf("disarmed fault fired: %v", err)
+	}
+	Arm(PointPPRCompute, "g", Fault{Err: errors.New("x")})
+	Disable()
+	Enable()
+	defer Disable()
+	if err := Fire(PointPPRCompute, "g"); err != nil {
+		t.Errorf("Disable must clear armed faults, got %v", err)
+	}
+	if got := Fired(PointPPRCompute); got != 0 {
+		t.Errorf("Disable must clear counters, got %d", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Enable()
+	defer Disable()
+	Arm(PointEngineBuild, "g", Fault{Panic: "injected panic", Count: 1})
+	func() {
+		defer func() {
+			if p := recover(); p != "injected panic" {
+				t.Errorf("recover = %v", p)
+			}
+		}()
+		_ = Fire(PointEngineBuild, "g")
+		t.Error("armed panic fault must not return")
+	}()
+}
+
+func TestDelayFault(t *testing.T) {
+	Enable()
+	defer Disable()
+	Arm(PointRegistryLoad, "g", Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire(PointRegistryLoad, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delay fault slept %v, want ≥20ms", d)
+	}
+}

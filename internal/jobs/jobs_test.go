@@ -118,7 +118,12 @@ func TestSweepValidate(t *testing.T) {
 }
 
 func TestSubmitRunsToCompletion(t *testing.T) {
-	m, cache := testManager(t, testRegistry(t), Options{Workers: 3})
+	reg := testRegistry(t)
+	m, cache := testManager(t, reg, Options{Workers: 3})
+	snap, err := reg.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
 	st, err := m.Submit(SweepSpec{
 		Graph: "g", Ps: []float64{0, 0.5, 1}, Betas: []float64{0, 1},
 		TopK: 3, Correlate: true,
@@ -154,8 +159,8 @@ func TestSubmitRunsToCompletion(t *testing.T) {
 			t.Errorf("config %s missing correlations", row.Config)
 		}
 		// The job's solve must be findable by a later synchronous request
-		// deriving the key from the same spec.
-		if _, hit := cache.Lookup(row.Spec.CacheKey()); !hit {
+		// deriving the epoch-qualified key from the same spec and snapshot.
+		if _, hit := cache.Lookup(row.Spec.CacheKeyFor(snap)); !hit {
 			t.Errorf("config %s not resident in the rank cache", row.Config)
 		}
 	}

@@ -328,6 +328,25 @@ func (m *Manager) enqueue(j *job) (Status, error) {
 // the real node count, then fan the work out over the shared worker pool.
 func (m *Manager) run(j *job) {
 	defer m.wg.Done()
+	// A panic anywhere on the job path (resolve, engine build, fan-out
+	// bookkeeping) fails this job, not the process. Per-configuration panics
+	// are additionally contained inside fanOut so one bad configuration
+	// doesn't take down its siblings.
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if m.opts.Telemetry != nil {
+			m.opts.Telemetry.RecordPanic()
+		}
+		j.mu.Lock()
+		terminal := j.state.terminal()
+		j.mu.Unlock()
+		if !terminal {
+			m.finishJob(j, fmt.Sprintf("panic: %v", p))
+		}
+	}()
 	j.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
@@ -391,6 +410,22 @@ func (m *Manager) fanOut(j *job, n int, exec, skip func(i int) ConfigResult) {
 		j.cond.Broadcast()
 		j.mu.Unlock()
 	}
+	// runOne contains a panicking configuration: the row is recorded as a
+	// failure (skip(i) supplies the Config/Spec identity) and the worker
+	// goroutine survives to release its semaphore slot.
+	runOne := func(i int) (res ConfigResult) {
+		defer func() {
+			if p := recover(); p != nil {
+				if m.opts.Telemetry != nil {
+					m.opts.Telemetry.RecordPanic()
+				}
+				res = skip(i)
+				res.Skipped = false
+				res.Error = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		return exec(i)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		if j.ctx.Err() != nil {
@@ -409,7 +444,7 @@ func (m *Manager) fanOut(j *job, n int, exec, skip func(i int) ConfigResult) {
 					add(skip(i))
 					return
 				}
-				add(exec(i))
+				add(runOne(i))
 			}(i)
 		}
 	}
@@ -467,7 +502,10 @@ func (m *Manager) finishJob(j *job, errMsg string) {
 func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, sw SweepSpec, cache *rankcache.Cache, deg []float64, tel *telemetry.Registry) ConfigResult {
 	snap := comp.Snapshot()
 	started := time.Now()
-	key := cfg.CacheKey()
+	// Cache operations are keyed by snapshot epoch (a reload invalidates by
+	// changing the key); the wire-visible Config string stays epoch-less so
+	// rows are comparable across reloads.
+	key := cfg.CacheKeyFor(snap)
 	var probe telemetry.SolveStats
 	scores, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
 		s, st, cerr := comp.ComputeStats(solveCtx, cfg)
@@ -483,7 +521,7 @@ func runConfig(ctx context.Context, comp *rankspec.Computer, cfg rankspec.Spec, 
 		probe = st
 		return s, nil
 	})
-	res := ConfigResult{Config: string(key), Spec: cfg, Cached: cached}
+	res := ConfigResult{Config: string(cfg.CacheKey()), Spec: cfg, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 		res.ElapsedMs = time.Since(started).Seconds() * 1000

@@ -171,7 +171,9 @@ func (m *Manager) runPPR(j *job) {
 // runConfig.
 func runPPRConfig(ctx context.Context, snap *registry.Snapshot, spec rankspec.PPRSpec, cache *pprcache.Cache, tel *telemetry.Registry) ConfigResult {
 	started := time.Now()
-	key := spec.CacheKey()
+	// Epoch-keyed like runConfig: the cache key carries the snapshot epoch,
+	// the wire-visible Config string does not.
+	key := spec.CacheKeyFor(snap)
 	var probe telemetry.SolveStats
 	rows, cached, err := cache.Get(ctx, key, func(solveCtx context.Context) ([]pprcache.Entry, error) {
 		entries, st, cerr := spec.ComputeStats(solveCtx, snap)
@@ -188,7 +190,7 @@ func runPPRConfig(ctx context.Context, snap *registry.Snapshot, spec rankspec.PP
 		return entries, nil
 	})
 	seed := spec.Seed
-	res := ConfigResult{Config: string(key), Seed: &seed, PPRSpec: &spec, Cached: cached}
+	res := ConfigResult{Config: string(spec.CacheKey()), Seed: &seed, PPRSpec: &spec, Cached: cached}
 	if err != nil {
 		res.Error = err.Error()
 	} else {

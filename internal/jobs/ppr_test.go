@@ -8,15 +8,24 @@ import (
 
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankspec"
+	"d2pr/internal/registry"
 )
 
 // testPPRManager builds a manager with a PPR cache wired in.
 func testPPRManager(t *testing.T, opts Options) (*Manager, *pprcache.Cache) {
+	m, ppr, _ := testPPRManagerReg(t, opts)
+	return m, ppr
+}
+
+// testPPRManagerReg additionally exposes the backing registry, for tests that
+// need the snapshot (epoch-qualified cache keys).
+func testPPRManagerReg(t *testing.T, opts Options) (*Manager, *pprcache.Cache, *registry.Registry) {
 	t.Helper()
 	ppr := pprcache.New(64, 4)
 	opts.PPRCache = ppr
-	m, _ := testManager(t, testRegistry(t), opts)
-	return m, ppr
+	reg := testRegistry(t)
+	m, _ := testManager(t, reg, opts)
+	return m, ppr, reg
 }
 
 func TestPPRBatchValidate(t *testing.T) {
@@ -52,7 +61,11 @@ func TestPPRBatchValidate(t *testing.T) {
 }
 
 func TestPPRBatchRunsToCompletion(t *testing.T) {
-	m, ppr := testPPRManager(t, Options{Workers: 2, TTL: time.Minute})
+	m, ppr, reg := testPPRManagerReg(t, Options{Workers: 2, TTL: time.Minute})
+	snap, err := reg.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
 	st, err := m.SubmitPPR(PPRBatchSpec{Graph: "g", Seeds: []int32{0, 3, 5}, K: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +120,7 @@ func TestPPRBatchRunsToCompletion(t *testing.T) {
 		t.Errorf("ppr cache holds %d entries after cohort, want 3", got)
 	}
 	for _, row := range rows {
-		if _, ok := ppr.Lookup(pprcache.Key(row.Config)); !ok {
+		if _, ok := ppr.Lookup(row.PPRSpec.CacheKeyFor(snap)); !ok {
 			t.Errorf("cohort key %q not in cache", row.Config)
 		}
 	}

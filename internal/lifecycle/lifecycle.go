@@ -1,0 +1,249 @@
+// Package lifecycle is the state machine behind graph materialization in the
+// serving layer: every registry entry owns a Machine that tracks whether its
+// latest load attempt left the entry loading, ready, degraded (a retryable
+// failure with a scheduled backoff), or quarantined (a permanent failure, or
+// retries exhausted — no further automatic attempts). The machine never loads
+// anything itself; the registry reports attempt outcomes with Succeed/Fail
+// and asks RetryAt when to try again.
+//
+// Failure classification drives the transitions: a transiently unreadable
+// file (ENOENT, EACCES, a network filesystem hiccup) lands in degraded and
+// self-heals through capped exponential backoff with full jitter, while a
+// corrupted file (parse or checksum failure, wrapped with Permanent by the
+// loader) quarantines immediately — retrying a deterministic failure only
+// burns disk bandwidth. A quarantined entry stays down until an operator
+// re-arms it (Rearm), which a manual reload does implicitly.
+package lifecycle
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// State is one lifecycle state of a registry entry.
+type State string
+
+const (
+	// StateLoading: no load attempt has finished yet (or the entry was just
+	// re-armed after quarantine).
+	StateLoading State = "loading"
+	// StateReady: the most recent load attempt succeeded.
+	StateReady State = "ready"
+	// StateDegraded: the most recent attempt failed retryably; a backoff
+	// retry is scheduled. An entry with an older good snapshot keeps serving
+	// it while degraded.
+	StateDegraded State = "degraded"
+	// StateQuarantined: the entry failed permanently (corrupt input) or
+	// exhausted its retry budget. No automatic retries; only Rearm (a manual
+	// reload) re-enters the loop.
+	StateQuarantined State = "quarantined"
+)
+
+// Terminal reports whether the state schedules no further automatic work.
+func (s State) Terminal() bool { return s == StateReady || s == StateQuarantined }
+
+// permanentError marks a failure that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Fail quarantines immediately instead of scheduling
+// retries. Loaders use it for parse/checksum/validation failures — the bytes
+// are readable but wrong, so the next read will fail identically. Wrapping
+// nil returns nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked with
+// Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Config tunes a Machine's retry policy. The zero value takes every default.
+type Config struct {
+	// Base is the first retry delay; each consecutive failure doubles it.
+	// 0 means DefaultBase.
+	Base time.Duration
+	// Max caps the doubled delay. 0 means DefaultMax.
+	Max time.Duration
+	// MaxRetries is how many consecutive transient failures are tolerated
+	// before the entry quarantines anyway (a "transient" error that never
+	// stops happening is not transient). 0 means DefaultMaxRetries; negative
+	// means retry forever.
+	MaxRetries int
+	// Rand returns a uniform float64 in [0, 1) for jitter. Nil means
+	// math/rand/v2; tests inject a deterministic source.
+	Rand func() float64
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBase       = 100 * time.Millisecond
+	DefaultMax        = 30 * time.Second
+	DefaultMaxRetries = 5
+)
+
+func (c Config) withDefaults() Config {
+	if c.Base <= 0 {
+		c.Base = DefaultBase
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultMax
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = DefaultMaxRetries
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+	return c
+}
+
+// Delay returns the backoff before retry number attempt (1-based): an
+// exponential 2^(attempt-1)·Base capped at Max, with full jitter on the upper
+// half — the canonical spread that keeps a fleet of entries failed by one
+// event from retrying in lockstep.
+func (c Config) Delay(attempt int) time.Duration {
+	c = c.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := c.Base
+	for i := 1; i < attempt && d < c.Max; i++ {
+		d *= 2
+	}
+	if d > c.Max {
+		d = c.Max
+	}
+	half := d / 2
+	return half + time.Duration(c.Rand()*float64(half))
+}
+
+// Info is a point-in-time snapshot of a Machine, shaped for health surfaces
+// (/readyz, /v1/graphs).
+type Info struct {
+	State State `json:"state"`
+	// Failures counts consecutive failed attempts since the last success (or
+	// re-arm).
+	Failures int `json:"failures,omitempty"`
+	// Error is the most recent attempt's failure, "" after a success.
+	Error string `json:"error,omitempty"`
+	// Since is when the machine entered its current state.
+	Since time.Time `json:"since,omitzero"`
+	// NextRetry is when the scheduled backoff retry becomes due (degraded
+	// only).
+	NextRetry time.Time `json:"next_retry,omitzero"`
+}
+
+// Machine tracks one entry's lifecycle. All methods are safe for concurrent
+// use. The zero value is not usable; call NewMachine.
+type Machine struct {
+	mu        sync.Mutex
+	cfg       Config
+	state     State
+	failures  int
+	lastErr   error
+	since     time.Time
+	nextRetry time.Time
+}
+
+// NewMachine returns a Machine in StateLoading with cfg's retry policy.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{cfg: cfg.withDefaults(), state: StateLoading, since: time.Now()}
+}
+
+// State returns the current state.
+func (m *Machine) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// LastErr returns the most recent attempt's failure (nil after a success).
+func (m *Machine) LastErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// RetryAt returns when the next automatic retry is due. The zero time means
+// none is scheduled (the machine is not degraded).
+func (m *Machine) RetryAt() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateDegraded {
+		return time.Time{}
+	}
+	return m.nextRetry
+}
+
+// Info returns a snapshot for health surfaces.
+func (m *Machine) Info() Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info := Info{State: m.state, Failures: m.failures, Since: m.since}
+	if m.lastErr != nil {
+		info.Error = m.lastErr.Error()
+	}
+	if m.state == StateDegraded {
+		info.NextRetry = m.nextRetry
+	}
+	return info
+}
+
+// Succeed records a successful load attempt: ready, failure streak cleared.
+func (m *Machine) Succeed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = StateReady
+	m.failures = 0
+	m.lastErr = nil
+	m.since = time.Now()
+	m.nextRetry = time.Time{}
+}
+
+// Fail records a failed load attempt and returns the resulting state. A
+// permanent error (see Permanent) or an exhausted retry budget quarantines;
+// otherwise the machine degrades and schedules the next retry with
+// exponential backoff and jitter.
+func (m *Machine) Fail(err error) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failures++
+	m.lastErr = err
+	m.since = time.Now()
+	exhausted := m.cfg.MaxRetries >= 0 && m.failures >= m.cfg.MaxRetries
+	if IsPermanent(err) || exhausted {
+		m.state = StateQuarantined
+		m.nextRetry = time.Time{}
+		return m.state
+	}
+	m.state = StateDegraded
+	m.nextRetry = time.Now().Add(m.cfg.Delay(m.failures))
+	return m.state
+}
+
+// Rearm resets a quarantined (or degraded) machine to loading with a fresh
+// retry budget — the manual-reload escape hatch. A ready machine is left
+// untouched: re-arming it would misreport a healthy entry as loading.
+func (m *Machine) Rearm() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == StateReady {
+		return
+	}
+	m.state = StateLoading
+	m.failures = 0
+	m.lastErr = nil
+	m.since = time.Now()
+	m.nextRetry = time.Time{}
+}

@@ -1,0 +1,126 @@
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPermanentClassification(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) must stay nil")
+	}
+	base := errors.New("parse error")
+	p := Permanent(base)
+	if !IsPermanent(p) {
+		t.Error("wrapped error must classify permanent")
+	}
+	if !IsPermanent(fmt.Errorf("load failed: %w", p)) {
+		t.Error("classification must survive further wrapping")
+	}
+	if !errors.Is(p, base) {
+		t.Error("Permanent must preserve the error chain")
+	}
+	if IsPermanent(base) {
+		t.Error("unwrapped errors are transient")
+	}
+}
+
+func TestDelayBoundsAndGrowth(t *testing.T) {
+	// Rand pinned to 0 gives the lower bound (d/2); to just-under-1 the
+	// upper (d).
+	lo := Config{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0 }}
+	hi := Config{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0.999999 }}
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := 100 * time.Millisecond << (attempt - 1)
+		if want > time.Second {
+			want = time.Second
+		}
+		l, h := lo.Delay(attempt), hi.Delay(attempt)
+		if l != want/2 {
+			t.Errorf("attempt %d: lower bound = %v, want %v", attempt, l, want/2)
+		}
+		if h < l || h > want {
+			t.Errorf("attempt %d: jittered delay %v outside [%v, %v]", attempt, h, l, want)
+		}
+		if l < prev {
+			t.Errorf("attempt %d: delay lower bound shrank (%v < %v)", attempt, l, prev)
+		}
+		prev = l
+	}
+	// The cap holds for absurd attempt counts without overflow.
+	if d := lo.Delay(500); d != time.Second/2 {
+		t.Errorf("capped delay = %v, want %v", d, time.Second/2)
+	}
+}
+
+func TestMachineTransitions(t *testing.T) {
+	m := NewMachine(Config{Base: time.Minute, MaxRetries: 3})
+	if m.State() != StateLoading {
+		t.Fatalf("initial state = %s", m.State())
+	}
+	m.Succeed()
+	if m.State() != StateReady || !m.RetryAt().IsZero() {
+		t.Fatalf("after Succeed: %s retryAt %v", m.State(), m.RetryAt())
+	}
+
+	if st := m.Fail(errors.New("blip")); st != StateDegraded {
+		t.Fatalf("transient failure → %s, want degraded", st)
+	}
+	if m.RetryAt().IsZero() || m.LastErr() == nil {
+		t.Error("degraded machine must schedule a retry and keep the error")
+	}
+	if info := m.Info(); info.Failures != 1 || info.Error == "" || info.NextRetry.IsZero() {
+		t.Errorf("info = %+v", info)
+	}
+
+	m.Fail(errors.New("blip 2"))
+	if st := m.Fail(errors.New("blip 3")); st != StateQuarantined {
+		t.Fatalf("exhausted budget → %s, want quarantined", st)
+	}
+	if !m.RetryAt().IsZero() {
+		t.Error("quarantined machine must not schedule retries")
+	}
+
+	m.Rearm()
+	if m.State() != StateLoading || m.Info().Failures != 0 || m.LastErr() != nil {
+		t.Errorf("after Rearm: %+v", m.Info())
+	}
+}
+
+func TestPermanentFailureQuarantinesImmediately(t *testing.T) {
+	m := NewMachine(Config{})
+	if st := m.Fail(Permanent(errors.New("corrupt"))); st != StateQuarantined {
+		t.Fatalf("permanent failure → %s, want quarantined", st)
+	}
+}
+
+func TestRearmLeavesReadyAlone(t *testing.T) {
+	m := NewMachine(Config{})
+	m.Succeed()
+	m.Rearm()
+	if m.State() != StateReady {
+		t.Errorf("Rearm on ready machine → %s", m.State())
+	}
+}
+
+func TestRetryForever(t *testing.T) {
+	m := NewMachine(Config{Base: time.Nanosecond, MaxRetries: -1})
+	for i := 0; i < 100; i++ {
+		if st := m.Fail(errors.New("x")); st != StateDegraded {
+			t.Fatalf("failure %d → %s, want degraded forever with MaxRetries<0", i, st)
+		}
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for st, want := range map[State]bool{
+		StateLoading: false, StateReady: true, StateDegraded: false, StateQuarantined: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, st.Terminal(), want)
+		}
+	}
+}

@@ -116,7 +116,15 @@ type shard struct {
 type Cache struct {
 	shards []*shard
 	mask   uint64
+	// onPanic, when set, observes the recovered value whenever a compute
+	// closure panics (before the panic is converted into the flight's error).
+	onPanic func(recovered any)
 }
+
+// SetOnPanic installs a hook observing recovered compute panics — the
+// serving layer points it at its panic telemetry counter. Set it before the
+// cache serves traffic; it is not synchronized against concurrent Gets.
+func (c *Cache) SetOnPanic(fn func(recovered any)) { c.onPanic = fn }
 
 // New returns a Cache holding at most capacity entries across numShards
 // shards. Non-positive arguments select DefaultCapacity / DefaultShards;
@@ -230,6 +238,9 @@ func (c *Cache) Get(ctx context.Context, key Key, compute ComputeFunc) ([]Entry,
 		defer func() {
 			if r := recover(); r != nil {
 				cl.err = fmt.Errorf("pprcache: compute for %q panicked: %v", key, r)
+				if c.onPanic != nil {
+					c.onPanic(r)
+				}
 			}
 			s.finish(key, h, cl)
 		}()

@@ -89,7 +89,15 @@ type Cache struct {
 	staleIdx map[Key]*list.Element
 	inflight map[Key]*call
 	stats    Stats
+	// onPanic, when set, observes the recovered value whenever a compute
+	// closure panics (before the panic is converted into the flight's error).
+	onPanic func(recovered any)
 }
+
+// SetOnPanic installs a hook observing recovered compute panics — the
+// serving layer points it at its panic telemetry counter. Set it before the
+// cache serves traffic; it is not synchronized against concurrent Gets.
+func (c *Cache) SetOnPanic(fn func(recovered any)) { c.onPanic = fn }
 
 // DefaultCapacity is the cache size used when New is given a non-positive
 // capacity. Score vectors are 8 bytes per node, so 256 resident vectors on a
@@ -170,6 +178,9 @@ func (c *Cache) Get(ctx context.Context, key Key, compute ComputeFunc) ([]float6
 		defer func() {
 			if r := recover(); r != nil {
 				cl.err = fmt.Errorf("rankcache: compute for %q panicked: %v", key, r)
+				if c.onPanic != nil {
+					c.onPanic(r)
+				}
 			}
 			c.finish(key, cl)
 		}()

@@ -86,6 +86,13 @@ func (s PPRSpec) CacheKey() pprcache.Key {
 		"|k=" + strconv.Itoa(s.K))
 }
 
+// CacheKeyFor is CacheKey scoped to one materialized snapshot (see
+// Spec.CacheKeyFor): cache operations key by epoch so a reload swap
+// invalidates personalized results computed on the replaced graph.
+func (s PPRSpec) CacheKeyFor(snap *registry.Snapshot) pprcache.Key {
+	return s.CacheKey() + pprcache.Key("|epoch="+strconv.FormatUint(snap.Epoch, 10))
+}
+
 // Compute runs the forward-push solve on the snapshot's graph and keeps the
 // top-k scores. It routes through the snapshot's cached engine — the pull
 // topology, the 1/outdeg table, and (for weighted graphs) the

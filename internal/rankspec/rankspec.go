@@ -134,6 +134,16 @@ func (s Spec) CacheKey() rankcache.Key {
 	return rankcache.NewKey(s.Graph, s.Algo, p, beta, optsKey)
 }
 
+// CacheKeyFor is CacheKey scoped to one materialized snapshot: the snapshot's
+// epoch is appended, so scores computed against a replaced graph are never
+// served after a reload swap — old-epoch entries simply age out of the LRU
+// instead of being hunted down. Cache operations use this form; wire-visible
+// config strings keep the epoch-less CacheKey so response shapes are stable
+// across reloads.
+func (s Spec) CacheKeyFor(snap *registry.Snapshot) rankcache.Key {
+	return s.CacheKey() + rankcache.Key("|epoch="+strconv.FormatUint(snap.Epoch, 10))
+}
+
 // isFinite reports whether f is neither NaN nor ±Inf.
 func isFinite(f float64) bool {
 	return !math.IsNaN(f) && !math.IsInf(f, 0)

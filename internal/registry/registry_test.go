@@ -7,9 +7,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"d2pr/internal/dataset"
 	"d2pr/internal/graph"
+	"d2pr/internal/lifecycle"
 )
 
 func mustGraph(t *testing.T) *graph.Graph {
@@ -19,6 +21,23 @@ func mustGraph(t *testing.T) *graph.Graph {
 		t.Fatal(err)
 	}
 	return g
+}
+
+// fastRetry is a backoff policy small enough for tests to wait out.
+var fastRetry = Options{Backoff: lifecycle.Config{Base: time.Millisecond, Max: 2 * time.Millisecond}}
+
+// waitReady polls Get until the entry serves or the deadline passes.
+func waitReady(t *testing.T, r *Registry, name string) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap, err := r.Get(name); err == nil {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("graph %q never became ready", name)
+	return nil
 }
 
 func TestAddGraphAndGet(t *testing.T) {
@@ -32,6 +51,12 @@ func TestAddGraphAndGet(t *testing.T) {
 	}
 	if snap.Name != "g" || snap.Graph.NumNodes() != 3 || snap.Significance[2] != 3 {
 		t.Errorf("snapshot = %+v", snap)
+	}
+	if snap.Epoch != 1 {
+		t.Errorf("first materialization epoch = %d, want 1", snap.Epoch)
+	}
+	if snap.LoadedAt.IsZero() {
+		t.Error("snapshot must carry its load time")
 	}
 }
 
@@ -63,15 +88,12 @@ func TestLazyLoadOnce(t *testing.T) {
 	r := New()
 	var loads int32
 	g := mustGraph(t)
-	r.add(&entry{
-		name: "lazy", source: "test",
-		load: func() (*graph.Graph, []float64, error) {
-			atomic.AddInt32(&loads, 1)
-			return g, nil, nil
-		},
-	})
-	if st := r.Statuses(); st[0].Loaded {
-		t.Error("entry loaded before first Get")
+	r.add(r.newEntry("lazy", "test", func() (loaded, error) {
+		atomic.AddInt32(&loads, 1)
+		return loaded{g: g}, nil
+	}))
+	if st := r.Statuses(); st[0].Loaded || st[0].State != lifecycle.StateLoading {
+		t.Errorf("before first Get: status = %+v", st[0])
 	}
 	const n = 16
 	var wg sync.WaitGroup
@@ -89,35 +111,242 @@ func TestLazyLoadOnce(t *testing.T) {
 		t.Errorf("load ran %d times under concurrency, want 1", loads)
 	}
 	st := r.Statuses()
-	if !st[0].Loaded || st[0].Nodes != 3 {
+	if !st[0].Loaded || st[0].Nodes != 3 || st[0].State != lifecycle.StateReady || st[0].Epoch != 1 {
 		t.Errorf("status = %+v", st[0])
 	}
 }
 
-func TestFailedLoadIsSticky(t *testing.T) {
-	r := New()
+// TestTransientFailureHeals is the regression test for the old sticky-error
+// behavior: a transient load failure must degrade the entry (fail-fast inside
+// the backoff window), then heal on its own once the fault clears — not brick
+// the entry until restart.
+func TestTransientFailureHeals(t *testing.T) {
+	r := NewWith(fastRetry)
 	var loads int32
-	r.add(&entry{
-		name: "bad", source: "test",
-		load: func() (*graph.Graph, []float64, error) {
-			atomic.AddInt32(&loads, 1)
-			return nil, nil, errors.New("disk on fire")
-		},
-	})
-	for i := 0; i < 3; i++ {
+	var broken atomic.Bool
+	broken.Store(true)
+	g := mustGraph(t)
+	r.add(r.newEntry("flaky", "test", func() (loaded, error) {
+		atomic.AddInt32(&loads, 1)
+		if broken.Load() {
+			return loaded{}, errors.New("disk on fire")
+		}
+		return loaded{g: g}, nil
+	}))
+
+	_, err := r.Get("flaky")
+	var serr *StateError
+	if !errors.As(err, &serr) || serr.State != lifecycle.StateDegraded {
+		t.Fatalf("first failed Get: err = %v, want StateError(degraded)", err)
+	}
+	if serr.RetryAt.IsZero() {
+		t.Error("degraded StateError must expose the scheduled retry time")
+	}
+	st := r.Statuses()
+	if st[0].Loaded || st[0].State != lifecycle.StateDegraded || st[0].Error == "" {
+		t.Errorf("degraded status = %+v", st[0])
+	}
+
+	broken.Store(false)
+	snap := waitReady(t, r, "flaky")
+	if snap.Epoch != 1 || snap.Graph.NumNodes() != 3 {
+		t.Errorf("healed snapshot = %+v", snap)
+	}
+	if st := r.Statuses(); st[0].State != lifecycle.StateReady || st[0].Error != "" {
+		t.Errorf("healed status = %+v", st[0])
+	}
+}
+
+// TestDegradedFailsFastInsideBackoff asserts Gets inside the backoff window
+// return immediately without re-invoking the loader.
+func TestDegradedFailsFastInsideBackoff(t *testing.T) {
+	r := NewWith(Options{Backoff: lifecycle.Config{Base: time.Hour, Max: time.Hour}})
+	var loads int32
+	r.add(r.newEntry("bad", "test", func() (loaded, error) {
+		atomic.AddInt32(&loads, 1)
+		return loaded{}, errors.New("nope")
+	}))
+	for i := 0; i < 5; i++ {
 		if _, err := r.Get("bad"); err == nil {
 			t.Fatal("want error")
 		}
 	}
 	if loads != 1 {
-		t.Errorf("failed load retried %d times, want sticky failure", loads)
+		t.Errorf("loader ran %d times inside the backoff window, want 1", loads)
 	}
-	st := r.Statuses()
-	if st[0].Loaded {
-		t.Error("failed entry must not report Loaded")
+}
+
+func TestPermanentFailureQuarantines(t *testing.T) {
+	r := NewWith(fastRetry)
+	var loads int32
+	r.add(r.newEntry("corrupt", "test", func() (loaded, error) {
+		atomic.AddInt32(&loads, 1)
+		return loaded{}, lifecycle.Permanent(errors.New("parse error at line 3"))
+	}))
+	_, err := r.Get("corrupt")
+	var serr *StateError
+	if !errors.As(err, &serr) || serr.State != lifecycle.StateQuarantined {
+		t.Fatalf("err = %v, want StateError(quarantined)", err)
 	}
-	if st[0].Error == "" {
-		t.Error("failed entry must surface its load error")
+	// Quarantine means no automatic retries, ever — even past any backoff.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := r.Get("corrupt"); err == nil {
+		t.Fatal("quarantined entry must keep failing")
+	}
+	if loads != 1 {
+		t.Errorf("quarantined loader ran %d times, want 1", loads)
+	}
+	if st := r.Statuses(); st[0].State != lifecycle.StateQuarantined {
+		t.Errorf("status = %+v", st[0])
+	}
+}
+
+func TestRetryBudgetExhaustionQuarantines(t *testing.T) {
+	r := NewWith(Options{Backoff: lifecycle.Config{
+		Base: time.Nanosecond, Max: time.Nanosecond, MaxRetries: 2,
+	}})
+	var loads int32
+	r.add(r.newEntry("hopeless", "test", func() (loaded, error) {
+		atomic.AddInt32(&loads, 1)
+		return loaded{}, errors.New("still transient, allegedly")
+	}))
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_, err := r.Get("hopeless")
+		var serr *StateError
+		if errors.As(err, &serr) && serr.State == lifecycle.StateQuarantined {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := atomic.LoadInt32(&loads); got != 2 {
+		t.Errorf("loader ran %d times before quarantine, want MaxRetries=2", got)
+	}
+}
+
+func TestReloadSwapsEpoch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0\t1\n1\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.AddFile("g", path, graph.Undirected, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	old, err := r.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Epoch != 1 || old.Checksum == "" {
+		t.Fatalf("first snapshot = epoch %d, checksum %q", old.Epoch, old.Checksum)
+	}
+
+	// Grow the file and reload: the swap must bump the epoch and change the
+	// checksum, while the old snapshot stays fully usable for in-flight work.
+	if err := os.WriteFile(path, []byte("0\t1\n1\t2\n2\t3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Reload("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 2 || st.State != lifecycle.StateReady || st.Nodes != 4 {
+		t.Errorf("post-reload status = %+v", st)
+	}
+	fresh, err := r.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Epoch != 2 || fresh.Checksum == old.Checksum {
+		t.Errorf("fresh = epoch %d checksum %q, old checksum %q", fresh.Epoch, fresh.Checksum, old.Checksum)
+	}
+	if old.Graph.NumNodes() != 3 || old.Engine() == nil {
+		t.Error("pinned old snapshot must remain usable after the swap")
+	}
+}
+
+// TestReloadFailureKeepsServing: a reload that hits a corrupted file
+// quarantines the entry, but requests keep getting the last good snapshot —
+// and a manual reload after the file is fixed re-arms it.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0\t1\n1\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.AddFile("g", path, graph.Undirected, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	old, err := r.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(path, []byte("0\tnot-a-node\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, rerr := r.Reload("g")
+	if rerr == nil {
+		t.Fatal("reloading a corrupt file must error")
+	}
+	if st.State != lifecycle.StateQuarantined {
+		t.Errorf("corrupt reload state = %s, want quarantined", st.State)
+	}
+	if !st.Loaded || st.Epoch != 1 || st.Error == "" {
+		t.Errorf("status after failed reload = %+v", st)
+	}
+	snap, err := r.Get("g")
+	if err != nil || snap != old {
+		t.Fatalf("Get after failed reload = %v, %v; want the prior snapshot", snap, err)
+	}
+
+	if err := os.WriteFile(path, []byte("0\t1\n1\t2\n2\t0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = r.Reload("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != lifecycle.StateReady || st.Epoch != 2 {
+		t.Errorf("re-armed reload status = %+v", st)
+	}
+}
+
+func TestTryReloadPolicy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(path, []byte("0\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.AddFile("g", path, graph.Undirected, false, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmaterialized entries are skipped: auto-reload must not defeat lazy
+	// loading.
+	if _, attempted, err := r.TryReload("g"); err != nil || attempted {
+		t.Fatalf("TryReload on unloaded entry: attempted=%v err=%v", attempted, err)
+	}
+	if _, err := r.Get("g"); err != nil {
+		t.Fatal(err)
+	}
+	st, attempted, err := r.TryReload("g")
+	if err != nil || !attempted || st.Epoch != 2 {
+		t.Fatalf("TryReload on loaded entry: attempted=%v epoch=%d err=%v", attempted, st.Epoch, err)
+	}
+
+	// Quarantined entries are skipped: quarantine is an operator decision.
+	if err := os.WriteFile(path, []byte("junk junk junk junk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reload("g"); err == nil {
+		t.Fatal("corrupt reload must error")
+	}
+	if _, attempted, _ := r.TryReload("g"); attempted {
+		t.Error("TryReload must not touch a quarantined entry")
 	}
 }
 
@@ -194,6 +423,56 @@ func TestLoadDir(t *testing.T) {
 	}
 	if !web.Graph.Directed() {
 		t.Error(".directed infix must mark the graph directed")
+	}
+}
+
+// TestLoadDirPartialFailure: one unreadable file in the directory must not
+// abort the rest — the healthy graphs register and count, the broken one is
+// registered degraded (visible in Statuses, excluded from the count), and it
+// heals once the file becomes readable.
+func TestLoadDirPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "good.tsv"), []byte("0\t1\n1\t2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A symlink to a missing target is unreadable for sniffing and loading
+	// alike (and stays so even when tests run as root, unlike chmod 0).
+	target := filepath.Join(dir, "ghost-target")
+	if err := os.Symlink(target, filepath.Join(dir, "ghost.tsv")); err != nil {
+		t.Skipf("symlink unsupported: %v", err)
+	}
+
+	r := NewWith(fastRetry)
+	n, err := r.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("count = %d, want 1 (only the cleanly registered graph)", n)
+	}
+	if got := r.Names(); len(got) != 2 {
+		t.Fatalf("names = %v, want both graphs registered", got)
+	}
+	if _, err := r.Get("good"); err != nil {
+		t.Errorf("healthy sibling must load: %v", err)
+	}
+	var ghost Status
+	for _, st := range r.Statuses() {
+		if st.Name == "ghost" {
+			ghost = st
+		}
+	}
+	if ghost.State != lifecycle.StateDegraded || ghost.Error == "" || ghost.Loaded {
+		t.Errorf("ghost status = %+v, want degraded with the read error", ghost)
+	}
+
+	// The file appears: the deferred sniff + load path must heal the entry.
+	if err := os.WriteFile(target, []byte("0\t1\t2.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := waitReady(t, r, "ghost")
+	if !snap.Graph.Weighted() {
+		t.Error("healed ghost must be sniffed weighted from the now-readable file")
 	}
 }
 

@@ -1,0 +1,568 @@
+// Chaos suite: fault-injection tests for the zero-downtime lifecycle. Every
+// test here runs against the real HTTP surface with faults armed through
+// internal/faultinject, and the headline test drives concurrent rank/PPR
+// traffic through back-to-back hot reloads asserting the acceptance
+// properties: zero 5xx for healthy graphs, zero dropped in-flight requests,
+// and a goroutine count that returns to baseline when the dust settles.
+//
+// Run with -race; the CI chaos job runs this file's tests with -count=2 and
+// uploads goroutine dumps (written when CHAOS_ARTIFACT_DIR is set) on
+// failure.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"d2pr/internal/faultinject"
+	"d2pr/internal/graph"
+	"d2pr/internal/lifecycle"
+	"d2pr/internal/registry"
+)
+
+// chaosBackoff keeps degraded-retry windows far below test timescales.
+var chaosBackoff = lifecycle.Config{
+	Base:       time.Millisecond,
+	Max:        4 * time.Millisecond,
+	MaxRetries: 3,
+}
+
+// writeChaosGraph writes a small weighted graph atomically (temp + rename) so
+// a shadow reload never observes a partial file. gen perturbs the weights so
+// successive versions are distinguishable by checksum.
+func writeChaosGraph(t *testing.T, path string, gen int) {
+	t.Helper()
+	var b strings.Builder
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 4}, {4, 5}, {3, 5}, {1, 5}}
+	for i, e := range edges {
+		fmt.Fprintf(&b, "%d %d %g\n", e[0], e[1], 1.0+float64((i+gen)%5)/10)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chaosServer builds a server over a fast-backoff registry with one
+// file-backed graph ("web", reloadable) and one memory graph ("mem",
+// always-healthy control). Admission is sized so healthy traffic is never
+// shed — a 429 in these tests would be a bug, not load shedding.
+func chaosServer(t *testing.T) (*Server, *httptest.Server, *registry.Registry, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "web.tsv")
+	writeChaosGraph(t, path, 0)
+
+	reg := registry.NewWith(registry.Options{Backoff: chaosBackoff})
+	if err := reg.AddFile("web", path, graph.Undirected, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.AddGraph("mem", testGraph(t), nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewMulti(reg, Config{
+		CacheSize:     256,
+		MaxConcurrent: 8,
+		MaxQueue:      4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeServer(t, s)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, reg, path
+}
+
+// dumpChaosArtifact writes diagnostic bytes where the CI chaos job collects
+// artifacts from (CHAOS_ARTIFACT_DIR); without the env var the dump lands in
+// the test log instead.
+func dumpChaosArtifact(t *testing.T, name string, data []byte) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" {
+		t.Logf("%s:\n%s", name, data)
+		return
+	}
+	_ = os.MkdirAll(dir, 0o755)
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s.txt", t.Name(), name))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Logf("artifact write failed (%v); %s:\n%s", err, name, data)
+		return
+	}
+	t.Logf("wrote artifact %s", path)
+}
+
+// goroutineBaseline snapshots the goroutine count and returns a check that
+// polls (up to 5s) for the count to return to baseline + slack. Register the
+// returned func with t.Cleanup BEFORE building servers so it runs after
+// their cleanups have torn everything down.
+func goroutineBaseline(t *testing.T) func() {
+	t.Helper()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(5 * time.Second)
+		n := runtime.NumGoroutine()
+		for n > base+3 && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > base+3 {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			dumpChaosArtifact(t, "goroutines", buf)
+			t.Errorf("goroutine leak: baseline %d, settled at %d", base, n)
+		}
+	}
+}
+
+// TestChaosReloadUnderLoad is the acceptance test: 100 concurrent workers
+// alternating rank and PPR requests against both graphs while the file graph
+// is rewritten and hot-reloaded 10 times back to back. Every request must
+// complete 200 — reloads swap snapshots atomically underneath in-flight
+// traffic, never through an error window — and the goroutine count must
+// return to baseline afterwards.
+func TestChaosReloadUnderLoad(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
+	_, ts, reg, path := chaosServer(t)
+
+	if _, err := reg.Get("web"); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 100
+	const perWorker = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan string, workers*perWorker)
+	urls := []string{
+		ts.URL + "/v1/web/rank?p=1&alpha=0.85",
+		ts.URL + "/v1/web/ppr?seed=0&k=3",
+		ts.URL + "/v1/mem/rank?p=0.5",
+		ts.URL + "/v1/mem/ppr?seed=1&k=2",
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := urls[(w+i)%len(urls)]
+				resp, err := client.Get(url)
+				if err != nil {
+					errCh <- fmt.Sprintf("GET %s: %v", url, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Sprintf("GET %s: status %d", url, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+
+	// 10 back-to-back reloads, each over a freshly rewritten file.
+	for gen := 1; gen <= 10; gen++ {
+		writeChaosGraph(t, path, gen)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("reload %d: %v", gen, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status %d", gen, resp.StatusCode)
+		}
+	}
+
+	wg.Wait()
+	close(stop)
+	close(errCh)
+	failures := 0
+	for msg := range errCh {
+		failures++
+		if failures <= 10 {
+			t.Error(msg)
+		}
+	}
+	if failures > 10 {
+		t.Errorf("... and %d more request failures", failures-10)
+	}
+
+	st, err := reg.Status("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != lifecycle.StateReady {
+		t.Errorf("web state after reload storm = %s, want ready", st.State)
+	}
+	if st.Epoch != 11 {
+		t.Errorf("web epoch = %d, want 11 (initial load + 10 reloads)", st.Epoch)
+	}
+}
+
+// TestChaosTransientFailureDegradesThenHeals injects two load failures on a
+// never-materialized graph: the first requests see 503 + state "degraded" +
+// Retry-After, and once the fault budget is spent a request past the backoff
+// window heals the graph to ready.
+func TestChaosTransientFailureDegradesThenHeals(t *testing.T) {
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	_, ts, reg, _ := chaosServer(t)
+
+	faultinject.Arm(faultinject.PointRegistryLoad, "web", faultinject.Fault{
+		Err:   errors.New("injected transient load failure"),
+		Count: 2,
+	})
+
+	resp, err := http.Get(ts.URL + "/v1/web/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+		State string `json:"state"`
+	}
+	code := decodeBody(t, resp, &body)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("first request: status %d, want 503", code)
+	}
+	if body.State != string(lifecycle.StateDegraded) {
+		t.Errorf("first request state = %q, want degraded", body.State)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 missing Retry-After")
+	}
+	if !strings.Contains(body.Error, "injected transient") {
+		t.Errorf("error body %q does not carry the load error", body.Error)
+	}
+
+	// The fault fires twice; with millisecond backoff the graph must heal
+	// within the polling window.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/web/rank")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("graph did not heal; last status %d", resp.StatusCode)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, err := reg.Status("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != lifecycle.StateReady || !st.Loaded {
+		t.Errorf("healed status = %+v, want ready+loaded", st)
+	}
+	if got := faultinject.Fired(faultinject.PointRegistryLoad); got != 2 {
+		t.Errorf("load fault fired %d times, want 2", got)
+	}
+}
+
+// TestChaosPersistentFailureQuarantines keeps the load fault armed past the
+// retry budget: the graph lands in quarantine, requests fail fast with 503 +
+// state "quarantined", the healthy control graph keeps serving, and /readyz
+// reports "degraded" (not unavailable — one graph is still servable).
+func TestChaosPersistentFailureQuarantines(t *testing.T) {
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	_, ts, reg, _ := chaosServer(t)
+
+	faultinject.Arm(faultinject.PointRegistryLoad, "web", faultinject.Fault{
+		Err: errors.New("injected persistent load failure"),
+	})
+
+	// Drive Gets until the retry budget (MaxRetries=3) quarantines the entry.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/web/rank")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		st, err := reg.Status("web")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == lifecycle.StateQuarantined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("graph never quarantined; state %s after %d retries", st.State, st.Retries)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Quarantined: fail-fast 503 with the state named in the body, so a
+	// client can tell it from a 404 (unknown graph) and a transient 503.
+	resp, err := http.Get(ts.URL + "/v1/web/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+		State string `json:"state"`
+	}
+	if code := decodeBody(t, resp, &body); code != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined request: status %d, want 503", code)
+	}
+	if body.State != string(lifecycle.StateQuarantined) {
+		t.Errorf("state = %q, want quarantined", body.State)
+	}
+
+	// The healthy graph is untouched.
+	if code := getJSON(t, ts.URL+"/v1/mem/rank", nil); code != http.StatusOK {
+		t.Errorf("healthy graph returned %d during quarantine", code)
+	}
+
+	// Readiness: degraded (a graph is sick) but 200 (mem still serves).
+	var rz ReadyzResponse
+	if code := getJSON(t, ts.URL+"/readyz", &rz); code != http.StatusOK {
+		t.Fatalf("readyz status %d, want 200", code)
+	}
+	if rz.Status != "degraded" {
+		t.Errorf("readyz status = %q, want degraded", rz.Status)
+	}
+	if len(rz.Quarantined) != 1 || rz.Quarantined[0] != "web" {
+		t.Errorf("readyz quarantined = %v, want [web]", rz.Quarantined)
+	}
+
+	// Manual reload re-arms quarantine; with the fault disarmed it heals.
+	faultinject.Disarm(faultinject.PointRegistryLoad, "web")
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+	reloadResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ReloadResponse
+	if code := decodeBody(t, reloadResp, &rr); code != http.StatusOK {
+		t.Fatalf("reload after disarm: status %d", code)
+	}
+	if rr.Status.State != lifecycle.StateReady {
+		t.Errorf("post-reload state = %s, want ready", rr.Status.State)
+	}
+	if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusOK {
+		t.Errorf("healed graph returned %d", code)
+	}
+}
+
+// TestChaosReloadFailureKeepsServing materializes the graph, then arms a
+// persistent load fault and reloads until quarantine: every reload fails with
+// 502, but the previous good snapshot keeps serving 200 throughout and after.
+func TestChaosReloadFailureKeepsServing(t *testing.T) {
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	_, ts, reg, _ := chaosServer(t)
+
+	if _, err := reg.Get("web"); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.PointRegistryLoad, "web", faultinject.Fault{
+		Err: errors.New("injected reload failure"),
+	})
+
+	// Each manual reload re-arms the machine, fails once, and degrades; the
+	// old snapshot must serve through every one of them.
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr struct {
+			Status registry.Status `json:"status"`
+			Error  string          `json:"error"`
+			State  string          `json:"state"`
+		}
+		if code := decodeBody(t, resp, &rr); code != http.StatusBadGateway {
+			t.Fatalf("reload %d: status %d, want 502", i, code)
+		}
+		if !rr.Status.Loaded || rr.Status.Epoch != 1 {
+			t.Errorf("reload %d: status %+v, want loaded epoch-1 snapshot retained", i, rr.Status)
+		}
+		if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusOK {
+			t.Errorf("serving gap after failed reload %d: status %d", i, code)
+		}
+	}
+
+	// Recovery: disarm, reload, epoch advances.
+	faultinject.Disarm(faultinject.PointRegistryLoad, "web")
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ReloadResponse
+	if code := decodeBody(t, resp, &rr); code != http.StatusOK {
+		t.Fatalf("recovery reload: status %d", code)
+	}
+	if rr.Status.Epoch != 2 || rr.Status.State != lifecycle.StateReady {
+		t.Errorf("recovery status = %+v, want ready epoch 2", rr.Status)
+	}
+}
+
+// TestChaosPanickingComputeContained arms panics inside the rank and PPR
+// compute closures: the requests fail 500 (not a crashed process), the panic
+// counter climbs, and once disarmed the same requests serve 200.
+func TestChaosPanickingComputeContained(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	s, ts, _, _ := chaosServer(t)
+
+	faultinject.Arm(faultinject.PointRankCompute, "web", faultinject.Fault{
+		Panic: "injected rank panic", Count: 1,
+	})
+	faultinject.Arm(faultinject.PointPPRCompute, "web", faultinject.Fault{
+		Panic: "injected ppr panic", Count: 1,
+	})
+
+	if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusInternalServerError {
+		t.Errorf("panicking rank compute: status %d, want 500", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/web/ppr?seed=0", nil); code != http.StatusInternalServerError {
+		t.Errorf("panicking ppr compute: status %d, want 500", code)
+	}
+	if got := s.tel.Panics(); got < 2 {
+		t.Errorf("panics counter = %d, want >= 2", got)
+	}
+
+	// Faults were Count:1 — the same requests now succeed.
+	if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusOK {
+		t.Errorf("rank after panic: status %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/web/ppr?seed=0", nil); code != http.StatusOK {
+		t.Errorf("ppr after panic: status %d, want 200", code)
+	}
+
+	// The counter is on the metrics surface in both expositions.
+	var mr MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &mr); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if mr.Panics < 2 {
+		t.Errorf("metrics panics = %d, want >= 2", mr.Panics)
+	}
+}
+
+// TestChaosHandlerPanicRecovered drives a panic through the instrument
+// middleware directly: the response is a JSON 500, the process survives, and
+// the panic is counted.
+func TestChaosHandlerPanicRecovered(t *testing.T) {
+	s, err := New(testGraph(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeServer(t, s)
+	h := s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("injected handler panic")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if code := decodeBody(t, resp, &body); code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	if !strings.Contains(body.Error, "panic") {
+		t.Errorf("error body %q does not mention the panic", body.Error)
+	}
+	if got := s.tel.Panics(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+}
+
+// TestChaosMidSolveCancellation cancels clients mid-solve during a reload:
+// neither the abandoned solves nor the reload may leak goroutines or wedge
+// the admission budget.
+func TestChaosMidSolveCancellation(t *testing.T) {
+	t.Cleanup(goroutineBaseline(t))
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	_, ts, reg, path := chaosServer(t)
+
+	if _, err := reg.Get("web"); err != nil {
+		t.Fatal(err)
+	}
+	// Slow every rank solve down so client timeouts fire mid-compute.
+	faultinject.Arm(faultinject.PointRankCompute, "web", faultinject.Fault{
+		Delay: 50 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 5 * time.Millisecond}
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct alphas defeat request coalescing: each hits the solve path.
+			resp, err := client.Get(fmt.Sprintf("%s/v1/web/rank?alpha=0.%02d", ts.URL, 50+i))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	// Reload concurrently with the abandoned solves.
+	writeChaosGraph(t, path, 99)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload during cancellations: status %d", resp.StatusCode)
+	}
+	wg.Wait()
+
+	faultinject.Disarm(faultinject.PointRankCompute, "web")
+	// The budget must not be wedged: a fresh request completes promptly.
+	if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusOK {
+		t.Errorf("post-cancellation rank: status %d, want 200", code)
+	}
+}
+
+// decodeBody decodes a JSON response body and returns the status code,
+// closing the body.
+func decodeBody(t *testing.T, resp *http.Response, out any) int {
+	t.Helper()
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"d2pr/internal/lifecycle"
+	"d2pr/internal/registry"
+)
+
+// ReadyzResponse is the GET /readyz response body: the per-graph lifecycle
+// picture plus admission saturation — what a load balancer needs to decide
+// whether to keep sending traffic, and what an operator needs to see first
+// when it stops.
+type ReadyzResponse struct {
+	// Status is "ok" (every graph healthy), "degraded" (some graphs sick but
+	// at least one servable), or "unavailable" (nothing servable; the
+	// response is a 503 and the instance should be drained).
+	Status string `json:"status"`
+	// StateCounts tallies graphs per lifecycle state.
+	StateCounts map[string]int `json:"state_counts"`
+	// Degraded and Quarantined list the sick graphs by name — the first
+	// thing a runbook asks for.
+	Degraded    []string `json:"degraded,omitempty"`
+	Quarantined []string `json:"quarantined,omitempty"`
+	// Graphs is the full registry status (same shape as /v1/graphs).
+	Graphs []registry.Status `json:"graphs"`
+	// AdmissionSaturation is queued waiters per configured queue slot across
+	// all graphs, in [0, 1] — 1.0 means every new solve is being shed.
+	AdmissionSaturation float64 `json:"admission_saturation"`
+}
+
+// handleReadyz reports readiness. The instance is unready (503) only when no
+// graph can serve at all: every entry is either quarantined or has failed
+// without a prior good snapshot. A degraded graph that still serves its last
+// good snapshot keeps the instance ready — draining it would turn graceful
+// degradation into an outage.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	statuses := s.reg.Statuses()
+	resp := ReadyzResponse{
+		Status:      "ok",
+		StateCounts: map[string]int{},
+		Graphs:      statuses,
+	}
+	servable := 0
+	for _, st := range statuses {
+		resp.StateCounts[string(st.State)]++
+		// Loaded entries serve their snapshot whatever the lifecycle says;
+		// loading entries will materialize on first request.
+		if st.Loaded || st.State == lifecycle.StateLoading {
+			servable++
+		}
+		switch st.State {
+		case lifecycle.StateDegraded:
+			resp.Degraded = append(resp.Degraded, st.Name)
+		case lifecycle.StateQuarantined:
+			resp.Quarantined = append(resp.Quarantined, st.Name)
+		}
+	}
+	as := s.adm.Stats()
+	if q := as.MaxQueue * max(1, len(statuses)); q > 0 {
+		resp.AdmissionSaturation = float64(as.QueueDepth) / float64(q)
+	}
+	code := http.StatusOK
+	if len(resp.Degraded)+len(resp.Quarantined) > 0 {
+		resp.Status = "degraded"
+	}
+	if servable == 0 {
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// ReloadResponse is the POST /v1/graphs/{graph}/reload response body: the
+// entry's post-attempt status. On failure the same shape rides a 502 with the
+// error and lifecycle state filled in — the old snapshot (if any) is still
+// serving, which Status.Loaded reports.
+type ReloadResponse struct {
+	Graph  string          `json:"graph"`
+	Status registry.Status `json:"status"`
+}
+
+// handleReload is the operator-facing hot-reload endpoint. The shadow load
+// runs on this request's goroutine — off the serving path, which keeps
+// resolving the old snapshot until the atomic swap. Reloading a quarantined
+// graph re-arms it (this is the documented way out of quarantine). A failed
+// materialization is 502: the request itself was valid, the data wasn't.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("graph")
+	st, err := s.reg.ReloadContext(r.Context(), name)
+	if err != nil {
+		if errors.Is(err, registry.ErrUnknownGraph) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		s.tel.RecordReload(false)
+		writeJSON(w, http.StatusBadGateway, struct {
+			ReloadResponse
+			errorBody
+		}{
+			ReloadResponse{Graph: name, Status: st},
+			errorBody{Error: err.Error(), State: string(st.State)},
+		})
+		return
+	}
+	s.tel.RecordReload(true)
+	writeJSON(w, http.StatusOK, ReloadResponse{Graph: name, Status: st})
+}

@@ -39,6 +39,13 @@ type MetricsResponse struct {
 	Jobs             jobs.Stats               `json:"jobs"`
 	GraphsLoaded     int                      `json:"graphs_loaded"`
 	GraphsRegistry   int                      `json:"graphs_registered"`
+	// Panics counts recovered panics (handler, job, and compute recoveries
+	// all feed it); Reloads counts graph reload attempts by outcome;
+	// GraphStates tallies registry entries per lifecycle state.
+	Panics        uint64         `json:"panics"`
+	ReloadsOK     uint64         `json:"reloads_ok"`
+	ReloadsFailed uint64         `json:"reloads_failed"`
+	GraphStates   map[string]int `json:"graph_states"`
 }
 
 // promContentType is the Prometheus text exposition format version this
@@ -82,8 +89,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp.Cache = s.cache.Stats()
 	resp.PPRCache = s.ppr.Stats()
 	resp.Jobs = s.jobs.Stats()
+	resp.Panics = tel.Panics()
+	resp.ReloadsOK, resp.ReloadsFailed = tel.Reloads()
+	resp.GraphStates = map[string]int{}
 	for _, st := range s.reg.Statuses() {
 		resp.GraphsRegistry++
+		resp.GraphStates[string(st.State)]++
 		if st.Loaded {
 			resp.GraphsLoaded++
 		}
@@ -164,7 +175,8 @@ func (s *Server) writeServerFamilies(p *telemetry.PromWriter) {
 	p.Sample("d2pr_jobs_active", nil, float64(js.Active))
 
 	var loaded, registered int
-	for _, st := range s.reg.Statuses() {
+	statuses := s.reg.Statuses()
+	for _, st := range statuses {
 		registered++
 		if st.Loaded {
 			loaded++
@@ -174,4 +186,21 @@ func (s *Server) writeServerFamilies(p *telemetry.PromWriter) {
 	p.Sample("d2pr_graphs_registered", nil, float64(registered))
 	p.Family("d2pr_graphs_loaded", "gauge", "Graphs currently materialized in memory.")
 	p.Sample("d2pr_graphs_loaded", nil, float64(loaded))
+
+	p.Family("d2pr_panics_total", "counter", "Recovered panics across handlers, jobs, and compute closures.")
+	p.Sample("d2pr_panics_total", nil, float64(s.tel.Panics()))
+	ok, failed := s.tel.Reloads()
+	p.Family("d2pr_graph_reloads_total", "counter", "Graph reload attempts by outcome.")
+	p.Sample("d2pr_graph_reloads_total", []telemetry.Label{{Name: "result", Value: "ok"}}, float64(ok))
+	p.Sample("d2pr_graph_reloads_total", []telemetry.Label{{Name: "result", Value: "failed"}}, float64(failed))
+	p.Family("d2pr_graph_state", "gauge", "Graph lifecycle state (1 = the graph is in this state).")
+	for _, st := range statuses {
+		for _, state := range []string{"loading", "ready", "degraded", "quarantined"} {
+			v := 0.0
+			if string(st.State) == state {
+				v = 1
+			}
+			p.Sample("d2pr_graph_state", []telemetry.Label{{Name: "graph", Value: st.Name}, {Name: "state", Value: state}}, v)
+		}
+	}
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -88,9 +90,13 @@ type statusRecorder struct {
 	req     *http.Request
 	status  int
 	rewrote bool
+	// wrote tracks whether the response has started — the panic-recovery
+	// path may only write its 500 while the wire is still untouched.
+	wrote bool
 }
 
 func (sr *statusRecorder) WriteHeader(status int) {
+	sr.wrote = true
 	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
 		sr.req.Pattern == "" && !sr.rewrote {
 		sr.rewrote = true
@@ -112,6 +118,7 @@ func (sr *statusRecorder) WriteHeader(status int) {
 // Write swallows the default text body after a rewrite; everything else
 // passes through.
 func (sr *statusRecorder) Write(b []byte) (int, error) {
+	sr.wrote = true
 	if sr.rewrote {
 		return len(b), nil
 	}
@@ -145,7 +152,33 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
 		w.Header().Set(requestIDHeader, id)
 		rec := &statusRecorder{ResponseWriter: w, req: r, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
+		func() {
+			// Panic isolation: a bug in any handler kills the request, not the
+			// process. The stack is logged, the panic counted, and — when the
+			// response hasn't started — a JSON 500 goes out. Running inside
+			// instrument means the 500 lands in the telemetry like any other.
+			defer func() {
+				if p := recover(); p != nil {
+					s.tel.RecordPanic()
+					if s.logger != nil {
+						s.logger.Error("handler panic",
+							"panic", fmt.Sprint(p),
+							"method", r.Method,
+							"path", r.URL.RequestURI(),
+							"request_id", id,
+							"stack", string(debug.Stack()),
+						)
+					}
+					if !rec.wrote {
+						writeError(rec, http.StatusInternalServerError,
+							fmt.Errorf("internal error (panic recovered)"))
+					} else {
+						rec.status = http.StatusInternalServerError
+					}
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		}()
 		elapsed := time.Since(started)
 		// The mux records the matched pattern on the request itself;
 		// unmatched paths and method mismatches leave it empty.
@@ -233,6 +266,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// State distinguishes a sick-but-known graph (503, lifecycle state
+	// "degraded"/"quarantined") from an unknown one (404, no state).
+	State string `json:"state,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -246,20 +282,28 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // errors.
 const statusClientClosedRequest = 499
 
-// retryAfterSeconds is the Retry-After hint attached to shed (429)
-// responses: solves finish in milliseconds-to-seconds, so a short backoff
-// is enough for a queue slot to open.
-const retryAfterSeconds = "1"
+// retryAfterFor derives the Retry-After hint for a shed (429) response from
+// the graph's current queue depth: solves finish in milliseconds-to-seconds,
+// so an empty queue warrants the minimum 1s backoff, and each MaxConcurrent
+// waiters already in line push the hint out by roughly one more drain cycle.
+func (s *Server) retryAfterFor(graph string) string {
+	depth := s.adm.QueueDepth(graph)
+	per := s.adm.Stats().MaxConcurrent
+	if per < 1 {
+		per = 1
+	}
+	return strconv.Itoa(1 + depth/per)
+}
 
 // writeComputeError maps a compute-path failure to its HTTP status: a full
 // admission queue is 429 + Retry-After (the stale-serve fallback has
 // already been tried by scores), an expired deadline 504, a client gone 499,
 // anything else 500. Deadline and disconnect counters derive from the status
 // inside telemetry.Record — no counter is touched here.
-func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+func (s *Server) writeComputeError(w http.ResponseWriter, graph string, err error) {
 	switch {
 	case errors.Is(err, admission.ErrQueueFull):
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", s.retryAfterFor(graph))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)

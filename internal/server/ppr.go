@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"d2pr/internal/faultinject"
 	"d2pr/internal/jobs"
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankspec"
@@ -98,7 +99,7 @@ func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry
 	// probe follows the same discipline as Server.scores: written inside the
 	// closure, read only on the leader-success path.
 	var probe telemetry.SolveStats
-	rows, cached, err := s.ppr.Get(ctx, spec.CacheKey(), func(solveCtx context.Context) ([]pprcache.Entry, error) {
+	rows, cached, err := s.ppr.Get(ctx, spec.CacheKeyFor(snap), func(solveCtx context.Context) ([]pprcache.Entry, error) {
 		waitStart := time.Now()
 		release, aerr := s.adm.Acquire(solveCtx, snap.Name)
 		wait := time.Since(waitStart)
@@ -106,6 +107,9 @@ func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry
 			return nil, aerr
 		}
 		defer release()
+		if err := faultinject.Fire(faultinject.PointPPRCompute, snap.Name); err != nil {
+			return nil, err
+		}
 		if s.hookSolve != nil {
 			s.hookSolve(snap.Name)
 		}
@@ -120,7 +124,7 @@ func (s *Server) servePPR(w http.ResponseWriter, r *http.Request, snap *registry
 		return entries, nil
 	})
 	if err != nil {
-		s.writeComputeError(w, err)
+		s.writeComputeError(w, snap.Name, err)
 		return
 	}
 	status := "miss"

@@ -50,6 +50,7 @@ import (
 
 	"d2pr/internal/admission"
 	"d2pr/internal/core"
+	"d2pr/internal/faultinject"
 	"d2pr/internal/graph"
 	"d2pr/internal/jobs"
 	"d2pr/internal/pprcache"
@@ -151,6 +152,11 @@ func NewMulti(reg *registry.Registry, cfg Config) (*Server, error) {
 		logger:        cfg.Logger,
 		slowThreshold: cfg.SlowRequestThreshold,
 	}
+	// Compute panics are recovered inside the caches (the flight fails, the
+	// key is not poisoned); the hooks make every such recovery visible as
+	// d2pr_panics_total.
+	s.cache.SetOnPanic(func(any) { s.tel.RecordPanic() })
+	s.ppr.SetOnPanic(func(any) { s.tel.RecordPanic() })
 	mgr, err := jobs.New(jobs.Options{
 		Workers:   cfg.JobWorkers,
 		TTL:       cfg.JobTTL,
@@ -210,8 +216,10 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("POST /v1/graphs/{graph}/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/{graph}/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/{graph}/rank", s.handleRank)
 	mux.HandleFunc("POST /v1/{graph}/rank/batch", s.handleRankBatch)
@@ -246,30 +254,47 @@ func (s *Server) Handler() http.Handler {
 // through the snapshot's cached engine, so warming also pre-builds the pull
 // topology later live requests reuse.
 func (s *Server) Warm(ps []float64, beta float64, parallelism int) <-chan struct{} {
-	var warmJobs []rankcache.Job
-	for _, name := range s.reg.Names() {
-		for _, p := range ps {
-			spec := rankspec.New(name)
-			spec.P, spec.Beta = p, beta
-			warmJobs = append(warmJobs, rankcache.Job{
-				Key: spec.CacheKey(),
-				Compute: func(ctx context.Context) ([]float64, error) {
-					snap, err := s.reg.Get(spec.Graph)
-					if err != nil {
-						return nil, err
-					}
-					scores, st, err := spec.ComputeStats(ctx, snap)
-					if err != nil {
-						s.tel.RecordSolveError(snap.Name)
-						return nil, err
-					}
-					s.tel.RecordSolve(snap.Name, st)
-					return scores, nil
-				},
-			})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Warming is best-effort infrastructure: a panic here (a corrupt
+		// graph tripping the solver, say) must not kill the process, and a
+		// graph that fails to load is simply skipped — it will load, or
+		// degrade, on its first live request.
+		defer func() {
+			if p := recover(); p != nil {
+				s.tel.RecordPanic()
+				if s.logger != nil {
+					s.logger.Error("warm panic", "panic", fmt.Sprint(p))
+				}
+			}
+		}()
+		var warmJobs []rankcache.Job
+		for _, name := range s.reg.Names() {
+			snap, err := s.reg.Get(name)
+			if err != nil {
+				continue
+			}
+			for _, p := range ps {
+				spec := rankspec.New(name)
+				spec.P, spec.Beta = p, beta
+				warmJobs = append(warmJobs, rankcache.Job{
+					Key: spec.CacheKeyFor(snap),
+					Compute: func(ctx context.Context) ([]float64, error) {
+						scores, st, err := spec.ComputeStats(ctx, snap)
+						if err != nil {
+							s.tel.RecordSolveError(snap.Name)
+							return nil, err
+						}
+						s.tel.RecordSolve(snap.Name, st)
+						return scores, nil
+					},
+				})
+			}
 		}
-	}
-	return s.cache.Warm(warmJobs, parallelism)
+		<-s.cache.Warm(warmJobs, parallelism)
+	}()
+	return done
 }
 
 // parseRankQuery extracts and validates the ranking parameters. Seed bounds
@@ -349,7 +374,7 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 // establishes the happens-before, and on every other outcome the closure may
 // still be running on an abandoned solve, so the probe is never touched.
 func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec rankspec.Spec) ([]float64, string, *telemetry.SolveStats, error) {
-	key := spec.CacheKey()
+	key := spec.CacheKeyFor(snap)
 	var probe telemetry.SolveStats
 	val, cached, err := s.cache.Get(ctx, key, func(solveCtx context.Context) ([]float64, error) {
 		waitStart := time.Now()
@@ -359,6 +384,9 @@ func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec ranks
 			return nil, aerr
 		}
 		defer release()
+		if err := faultinject.Fire(faultinject.PointRankCompute, snap.Name); err != nil {
+			return nil, err
+		}
 		if s.hookSolve != nil {
 			s.hookSolve(snap.Name)
 		}
@@ -382,6 +410,19 @@ func (s *Server) scores(ctx context.Context, snap *registry.Snapshot, spec ranks
 		if stale, ok := s.cache.LookupStale(key); ok {
 			return stale, "stale", nil, nil
 		}
+		// The cache may still hold the vector under the previous epoch's key:
+		// a reload happened since it was computed. Slightly-old scores beat
+		// shedding — the stale tier's whole purpose — so probe one epoch back
+		// (resident, then stale) before giving up.
+		if snap.Epoch > 1 {
+			prev := spec.CacheKey() + rankcache.Key("|epoch="+strconv.FormatUint(snap.Epoch-1, 10))
+			if stale, ok := s.cache.Lookup(prev); ok {
+				return stale, "stale", nil, nil
+			}
+			if stale, ok := s.cache.LookupStale(prev); ok {
+				return stale, "stale", nil, nil
+			}
+		}
 	}
 	return nil, "", nil, err
 }
@@ -399,7 +440,7 @@ func (s *Server) rankScores(w http.ResponseWriter, r *http.Request, snap *regist
 	defer cancel()
 	scores, status, st, err := s.scores(ctx, snap, spec)
 	if err != nil {
-		s.writeComputeError(w, err)
+		s.writeComputeError(w, snap.Name, err)
 		return nil, false
 	}
 	w.Header().Set(cacheHeader, status)
@@ -408,16 +449,28 @@ func (s *Server) rankScores(w http.ResponseWriter, r *http.Request, snap *regist
 }
 
 // snapshot resolves the {graph} path component against the registry.
-// Unknown names are 404 on every /v1/{graph}/... route; load failures 500.
+// Unknown names are 404 on every /v1/{graph}/... route. A known-but-sick
+// graph (degraded inside its backoff window, or quarantined, with no prior
+// good snapshot to serve) is 503 with the lifecycle state in the body —
+// clients and load balancers can tell "doesn't exist" from "exists, come
+// back later". Anything else is 500.
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
 	name := r.PathValue("graph")
-	snap, err := s.reg.Get(name)
+	snap, err := s.reg.GetContext(r.Context(), name)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, registry.ErrUnknownGraph) {
-			status = http.StatusNotFound
+		var serr *registry.StateError
+		switch {
+		case errors.Is(err, registry.ErrUnknownGraph):
+			writeError(w, http.StatusNotFound, err)
+		case errors.As(err, &serr):
+			if secs := int(time.Until(serr.RetryAt).Seconds()) + 1; !serr.RetryAt.IsZero() && secs > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: err.Error(), State: string(serr.State)})
+		default:
+			writeError(w, http.StatusInternalServerError, err)
 		}
-		writeError(w, status, err)
 		return nil, false
 	}
 	return snap, true

@@ -7,12 +7,14 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"d2pr/internal/faultinject"
 	"d2pr/internal/registry"
 	"d2pr/internal/telemetry/promtext"
 )
@@ -474,5 +476,117 @@ func TestBatchResultsCarrySolverStats(t *testing.T) {
 		if row.Iterations == 0 || !row.Converged {
 			t.Errorf("fresh row missing solver stats: %+v", row)
 		}
+	}
+}
+
+// TestMetricsLifecycleFamilies exercises the lifecycle telemetry end to end:
+// a successful reload, a failed reload (corrupted file), and a recovered
+// compute panic must all be visible in the JSON /metrics body and, through
+// the strict promtext parser, in the Prometheus exposition
+// (d2pr_panics_total, d2pr_graph_reloads_total{result}, d2pr_graph_state).
+func TestMetricsLifecycleFamilies(t *testing.T) {
+	faultinject.Enable()
+	t.Cleanup(faultinject.Disable)
+	_, ts, _, path := chaosServer(t)
+
+	// One healthy reload, one failed reload over a corrupted file, one panic.
+	if code := getJSON(t, ts.URL+"/v1/web/rank", nil); code != http.StatusOK {
+		t.Fatalf("rank: %d", code)
+	}
+	reload := func() int {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/graphs/web/reload", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := reload(); code != http.StatusOK {
+		t.Fatalf("healthy reload: %d", code)
+	}
+	if err := os.WriteFile(path, []byte("0 not-a-node\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := reload(); code != http.StatusBadGateway {
+		t.Fatalf("corrupt reload: %d, want 502", code)
+	}
+	faultinject.Arm(faultinject.PointRankCompute, "web", faultinject.Fault{
+		Panic: "injected metrics panic", Count: 1,
+	})
+	if code := getJSON(t, ts.URL+"/v1/web/rank?p=0.25", nil); code != http.StatusInternalServerError {
+		t.Fatalf("panicking rank: %d, want 500", code)
+	}
+
+	// JSON exposition.
+	var mr MetricsResponse
+	if code := getJSON(t, ts.URL+"/metrics", &mr); code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if mr.Panics < 1 {
+		t.Errorf("json panics = %d, want >= 1", mr.Panics)
+	}
+	if mr.ReloadsOK != 1 || mr.ReloadsFailed != 1 {
+		t.Errorf("json reloads = %d ok / %d failed, want 1/1", mr.ReloadsOK, mr.ReloadsFailed)
+	}
+	if mr.GraphStates["quarantined"] != 1 {
+		t.Errorf("json graph_states = %v, want one quarantined (corrupt file)", mr.GraphStates)
+	}
+
+	// Prometheus exposition, through the strict parser.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	fams, err := promtext.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+
+	panics, ok := promtext.Find(fams, "d2pr_panics_total")
+	if !ok || panics.Type != "counter" || len(panics.Samples) != 1 || panics.Samples[0].Value < 1 {
+		t.Errorf("d2pr_panics_total = %+v, want counter >= 1", panics)
+	}
+	reloads, ok := promtext.Find(fams, "d2pr_graph_reloads_total")
+	if !ok || reloads.Type != "counter" {
+		t.Fatal("d2pr_graph_reloads_total missing")
+	}
+	byResult := map[string]float64{}
+	for _, smp := range reloads.Samples {
+		r, _ := smp.Get("result")
+		byResult[r] = smp.Value
+	}
+	if byResult["ok"] != 1 || byResult["failed"] != 1 {
+		t.Errorf("reloads by result = %v, want ok=1 failed=1", byResult)
+	}
+	states, ok := promtext.Find(fams, "d2pr_graph_state")
+	if !ok || states.Type != "gauge" {
+		t.Fatal("d2pr_graph_state missing")
+	}
+	// Exactly one state sample per graph carries 1; web is quarantined after
+	// the corrupt reload, mem never materialized (loading).
+	current := map[string]string{}
+	perGraph := map[string]int{}
+	for _, smp := range states.Samples {
+		g, _ := smp.Get("graph")
+		st, _ := smp.Get("state")
+		if smp.Value == 1 {
+			current[g] = st
+			perGraph[g]++
+		}
+	}
+	if perGraph["web"] != 1 || perGraph["mem"] != 1 {
+		t.Errorf("graphs with multiple active states: %v", perGraph)
+	}
+	if current["web"] != "quarantined" {
+		t.Errorf("web state = %q, want quarantined", current["web"])
+	}
+	if current["mem"] != "loading" {
+		t.Errorf("mem state = %q, want loading", current["mem"])
 	}
 }

@@ -102,6 +102,9 @@ type Registry struct {
 	clientClosed atomic.Uint64 // 499: client went away first
 	deadlines    atomic.Uint64 // 504: compute deadline expired
 	totalNs      atomic.Int64  // summed request latency
+	panics       atomic.Uint64 // recovered panics (handlers, jobs, computes)
+	reloadsOK    atomic.Uint64 // graph reloads that swapped a snapshot in
+	reloadsFail  atomic.Uint64 // graph reloads whose materialization failed
 
 	routes sync.Map // route pattern → *routeStats
 	graphs sync.Map // graph name → *graphStats
@@ -185,6 +188,29 @@ func (r *Registry) RecordSolve(graph string, st SolveStats) {
 // request-level failure is counted separately by Record).
 func (r *Registry) RecordSolveError(graph string) {
 	r.graph(graph).solveErrors.Add(1)
+}
+
+// RecordPanic counts one recovered panic. Every recovery site — the HTTP
+// middleware, the jobs executor, the caches' compute goroutines — feeds this
+// one counter, so a nonzero d2pr_panics_total always means "a bug fired and
+// was contained" regardless of which layer caught it.
+func (r *Registry) RecordPanic() { r.panics.Add(1) }
+
+// Panics returns the recovered-panic count.
+func (r *Registry) Panics() uint64 { return r.panics.Load() }
+
+// RecordReload counts one graph reload attempt by outcome.
+func (r *Registry) RecordReload(ok bool) {
+	if ok {
+		r.reloadsOK.Add(1)
+	} else {
+		r.reloadsFail.Add(1)
+	}
+}
+
+// Reloads returns the reload-attempt counts (successes, failures).
+func (r *Registry) Reloads() (ok, failed uint64) {
+	return r.reloadsOK.Load(), r.reloadsFail.Load()
 }
 
 // Requests returns the total request count.
