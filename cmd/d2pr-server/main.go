@@ -69,6 +69,7 @@ import (
 	"d2pr/internal/dataset"
 	"d2pr/internal/graph"
 	"d2pr/internal/lifecycle"
+	"d2pr/internal/rankspec"
 	"d2pr/internal/registry"
 	"d2pr/internal/server"
 )
@@ -91,6 +92,8 @@ func main() {
 		pprCache   = flag.Int("ppr-cache-size", 0, "max resident personalized top-k results (0 = default 4096)")
 		pprEps     = flag.Float64("ppr-eps", 0, "default forward-push residual threshold for /ppr (0 = default 1e-7)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		float32Tier = flag.Bool("float32", false, "serve d2pr/pagerank power-iteration solves from the float32 score tier (~1e-6 absolute accuracy, roughly half the memory traffic)")
+
 		quiet      = flag.Bool("quiet", false, "disable per-request logging")
 		logJSON    = flag.Bool("log-json", false, "emit request logs as JSON records instead of logfmt-style text")
 		slowReq    = flag.Duration("slow-request-threshold", 0, "log requests at or above this duration at WARN with the full solver-stage breakdown (0 = disabled)")
@@ -104,6 +107,11 @@ func main() {
 		maxRetries  = flag.Int("max-load-retries", 0, "consecutive load failures before a graph is quarantined (0 = default 5, negative = retry forever)")
 	)
 	flag.Parse()
+
+	if *float32Tier {
+		rankspec.SetFloat32Mode(true)
+		log.Printf("float32 score tier enabled for d2pr/pagerank solves")
+	}
 
 	reg := registry.NewWith(registry.Options{
 		Backoff: lifecycle.Config{MaxRetries: *maxRetries},

@@ -3,57 +3,111 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"d2pr/internal/graph"
 )
 
-// Engine is the per-graph solver substrate: the pull-oriented transpose of
-// the graph (offsets, sources, dangling set), the permutation mapping each
-// forward-CSR arc to its pull position, and the per-node 1/outdeg table that
-// lets uniform (p = 0) transitions run with no per-arc probability array at
-// all. Building it costs one counting-sort transpose — the O(m) work the
-// seed solver repeated on every Solve; an Engine pays it once and every
-// subsequent solve over the same graph only fills (or skips) a probability
-// buffer.
+// Engine is the per-graph solver substrate, built once per graph and shared
+// by every solver (power iteration, Gauss–Seidel, the sweep batcher, and the
+// PPR push path). It is organized around memory locality:
 //
-// The engine also owns the solve-time scratch: score/next/teleport/probability
-// buffers are recycled through sync.Pools, so a warm solve allocates nothing
-// proportional to the graph beyond the returned score vector, and the
-// parallel sweep runs on a process-wide pool of persistent workers instead of
-// spawning goroutines every iteration.
+//   - Pull CSR: arcs into each destination are contiguous (pullOffsets +
+//     pullSources), so a sweep is a streaming pass over destinations with
+//     one gather per in-arc — never a scattered write.
+//   - Locality relabeling: nodes are renamed at build time with a hub-seeded
+//     BFS order (see computeOrder), so the gather working set — dominated by
+//     hub sources every row touches — is compacted into a low-id prefix of
+//     the score vectors. All sweeps run in the permuted id space; ids are
+//     translated only at the edges (teleport in, scores out), with reductions
+//     ordered so results stay bit-identical to an unpermuted solve.
+//   - Cache-blocked sweeps: the destination range is pre-cut into blocks of
+//     ~sweepBlockArcs arcs. Parallel sweeps schedule whole blocks work-
+//     stealing style (one atomic per block), which both bounds each grab's
+//     working set and load-balances hub rows without a static partition.
+//   - perm maps each forward-CSR arc to its pull position, so non-uniform
+//     transition probabilities scatter into pull order in one pass — and the
+//     scatter result is memoized per Transition for repeat solves.
+//
+// The engine also owns the solve-time scratch: score/next/teleport/
+// probability buffers (float64 and float32 tiers) are recycled through
+// sync.Pools, so a warm solve allocates nothing proportional to the graph
+// beyond the returned score vector, and the parallel sweep runs on a
+// process-wide pool of persistent workers instead of spawning goroutines
+// every iteration.
 //
 // An Engine is immutable after construction and safe for concurrent use.
 type Engine struct {
 	g *graph.Graph
 	n int
 
-	// buildTime is how long the counting-sort transpose took — the one-off
-	// cost a cold graph pays before its first solve, surfaced through
-	// telemetry so "first request on a graph is slow" is attributable.
-	buildTime time.Duration
+	// buildTime is the full construction cost (transpose + relabeling + block
+	// layout) a cold graph pays before its first solve; reorderTime is the
+	// slice spent computing the locality order. Both are surfaced through
+	// /v1/{graph}/info and telemetry so "first request on a graph is slow"
+	// is attributable.
+	buildTime   time.Duration
+	reorderTime time.Duration
 
-	// Pull topology: arcs into v are flow positions offsets[v]..offsets[v+1],
-	// sources[pos] is the origin node, and perm[k] is the flow position of
-	// forward-CSR arc k (so transition probabilities scatter in one pass).
-	offsets  []int64
-	sources  []int32
+	// Locality relabeling: permOf[orig] = permuted id, origOf[permuted] =
+	// orig id. Both are nil when the computed order is the identity, and
+	// every translation site treats nil as "no translation".
+	permOf []int32
+	origOf []int32
+
+	// Pull topology in permuted id space: arcs into permuted destination v
+	// are pull positions pullOffsets[v]..pullOffsets[v+1], pullSources[pos]
+	// is the (permuted) origin, and perm[k] is the pull position of forward-
+	// CSR arc k. Within each destination row, arcs keep the original
+	// source-scan order, so per-row accumulation is bit-identical to an
+	// unpermuted engine's.
+	pullOffsets []int64
+	pullSources []int32
+	perm        []int64
+
+	// dangling holds the permuted ids of out-degree-0 nodes, listed in
+	// original-id order so the dangling-mass reduction is bit-identical to
+	// the unpermuted solve.
 	dangling []int32
-	perm     []int64
 
-	// invOut[u] = 1/outdeg(u) (0 for dangling nodes): the implicit uniform
-	// transition. invOut[u] == 0 also doubles as the dangling test.
-	invOut []float64
+	// invOut[u] = 1/outdeg(u) in ORIGINAL id space (0 for dangling nodes) —
+	// the implicit uniform transition for callers that walk the forward
+	// graph (the PPR push path). invOutP is the same table in permuted
+	// space, used by the sweep solvers; it aliases invOut when the
+	// relabeling is the identity.
+	invOut  []float64
+	invOutP []float64
 
-	nbuf sync.Pool // *[]float64 of length n (scores, teleport, scaled)
-	mbuf sync.Pool // *[]float64 of length NumArcs (flow-ordered probabilities)
+	// blocks are the destination block boundaries of the blocked sweep
+	// schedule: each block covers ~sweepBlockArcs in-arcs.
+	blocks []int32
+
+	nbuf   sync.Pool // *[]float64 of length n
+	nbuf32 sync.Pool // *[]float32 of length n
+	mbuf   sync.Pool // *[]float64 of length NumArcs (pull-ordered probabilities)
+	mbuf32 sync.Pool // *[]float32 of length NumArcs
 
 	// pprbuf recycles *pprScratch (residuals, queue, membership bits) across
 	// SolvePPR calls; see push.go.
 	pprbuf sync.Pool
+
+	// parts caches the static arc-balanced partition per worker count —
+	// topology is immutable, so it never needs recomputing per solve.
+	partMu sync.Mutex
+	parts  map[int][]int32
+
+	// Flow-probability memoization: repeat solves of the same *Transition
+	// skip the O(m) scatter entirely. A transition is only promoted into the
+	// cache on its second sighting (flowSeen ring), so one-shot transitions
+	// — the serving layer builds a fresh Transition per request — keep using
+	// pooled buffers and never churn owned allocations.
+	flowMu      sync.Mutex
+	flowSeen    [4]*Transition
+	flowSeenPos int
+	flowEntries [2]flowEntry
 
 	// connOnce/conn lazily cache the graph's connection-strength transition
 	// (= Uniform for unweighted graphs), so per-seed PPR requests never
@@ -62,56 +116,180 @@ type Engine struct {
 	conn     *Transition
 }
 
-// NewEngine builds the pull topology for g. Prefer EngineFor, which caches
-// engines per graph; NewEngine exists for callers that manage the lifetime
-// themselves.
+type flowEntry struct {
+	tr    *Transition
+	probs []float64
+	// Permuted factored tables for rank-1 transitions (probs nil then).
+	rowFactor, srcScale []float64
+}
+
+// sweepBlockArcs is the target in-arc count per destination block: 8k arcs
+// ≈ 64 KiB of pull-ordered probabilities plus the block's score slice, small
+// enough that one block's streams live in L1/L2, large enough that the
+// per-block atomic fetch is noise. It also sets the parallel work-stealing
+// granularity (a 240k-arc graph yields ~30 blocks).
+const sweepBlockArcs = 8192
+
+// NewEngine builds the pull topology for g, including the locality
+// relabeling. Prefer EngineFor, which caches engines per graph; NewEngine
+// exists for callers that manage the lifetime themselves.
 func NewEngine(g *graph.Graph) *Engine {
+	return buildEngine(g, true)
+}
+
+// newEngineIdentity builds an engine with the identity node order — the
+// ablation baseline the reordering invariant tests and benches compare
+// against.
+func newEngineIdentity(g *graph.Graph) *Engine {
+	return buildEngine(g, false)
+}
+
+func buildEngine(g *graph.Graph, reorder bool) *Engine {
 	buildStart := time.Now()
 	n := g.NumNodes()
+	m := g.NumArcs()
 	e := &Engine{
-		g:       g,
-		n:       n,
-		offsets: make([]int64, n+1),
-		sources: make([]int32, g.NumArcs()),
-		perm:    make([]int64, g.NumArcs()),
-		invOut:  make([]float64, n),
+		g:           g,
+		n:           n,
+		pullOffsets: make([]int64, n+1),
+		pullSources: make([]int32, m),
+		perm:        make([]int64, m),
+		invOut:      make([]float64, n),
 	}
+	if reorder {
+		reorderStart := time.Now()
+		e.origOf = computeOrder(g)
+		if e.origOf != nil {
+			e.permOf = make([]int32, n)
+			for p, orig := range e.origOf {
+				e.permOf[orig] = int32(p)
+			}
+		}
+		e.reorderTime = time.Since(reorderStart)
+	}
+
+	permOf := e.permOf
 	for u := int32(0); int(u) < n; u++ {
 		lo, hi := g.ArcRange(u)
 		if lo == hi {
-			e.dangling = append(e.dangling, u)
+			pu := u
+			if permOf != nil {
+				pu = permOf[u]
+			}
+			e.dangling = append(e.dangling, pu)
 			continue
 		}
 		e.invOut[u] = 1 / float64(hi-lo)
 		for k := lo; k < hi; k++ {
-			e.offsets[g.ArcTarget(k)+1]++
+			pv := g.ArcTarget(k)
+			if permOf != nil {
+				pv = permOf[pv]
+			}
+			e.pullOffsets[pv+1]++
 		}
 	}
 	for v := 0; v < n; v++ {
-		e.offsets[v+1] += e.offsets[v]
+		e.pullOffsets[v+1] += e.pullOffsets[v]
 	}
 	cursor := make([]int64, n)
-	copy(cursor, e.offsets[:n])
+	copy(cursor, e.pullOffsets[:n])
+	// Sources are scanned in original id order, so each destination row
+	// lists its in-arcs in the same sequence as an unpermuted engine —
+	// the per-row accumulation stays bit-identical under relabeling.
 	for u := int32(0); int(u) < n; u++ {
 		lo, hi := g.ArcRange(u)
+		pu := u
+		if permOf != nil {
+			pu = permOf[u]
+		}
 		for k := lo; k < hi; k++ {
-			v := g.ArcTarget(k)
-			pos := cursor[v]
-			cursor[v]++
-			e.sources[pos] = u
+			pv := g.ArcTarget(k)
+			if permOf != nil {
+				pv = permOf[pv]
+			}
+			pos := cursor[pv]
+			cursor[pv]++
+			e.pullSources[pos] = pu
 			e.perm[k] = pos
 		}
 	}
+	if permOf == nil {
+		e.invOutP = e.invOut
+	} else {
+		e.invOutP = make([]float64, n)
+		for u := 0; u < n; u++ {
+			e.invOutP[permOf[u]] = e.invOut[u]
+		}
+	}
+	e.blocks = blockBounds(e.pullOffsets, n)
 	e.buildTime = time.Since(buildStart)
 	return e
+}
+
+// blockBounds cuts [0, n) into destination blocks of ~sweepBlockArcs in-arcs
+// (each destination also counts 1, so arc-free stretches still split).
+func blockBounds(offsets []int64, n int) []int32 {
+	bounds := make([]int32, 1, n/64+2)
+	var w int64
+	for v := 0; v < n; v++ {
+		w += offsets[v+1] - offsets[v] + 1
+		if w >= sweepBlockArcs {
+			bounds = append(bounds, int32(v+1))
+			w = 0
+		}
+	}
+	if bounds[len(bounds)-1] != int32(n) {
+		bounds = append(bounds, int32(n))
+	}
+	return bounds
 }
 
 // Graph returns the graph the engine was built for.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// BuildTime returns how long the pull-topology transpose took at
-// construction.
+// BuildTime returns how long the engine construction (transpose, locality
+// relabeling, block layout) took.
 func (e *Engine) BuildTime() time.Duration { return e.buildTime }
+
+// EngineStats describes the engine's memory layout and one-off build costs —
+// the operator-facing answer to "which layout is this graph serving, and
+// what did it cost to build".
+type EngineStats struct {
+	Nodes int `json:"nodes"`
+	Arcs  int `json:"arcs"`
+	// Layout names the topology layout the sweeps run on.
+	Layout string `json:"layout"`
+	// Reordered reports whether the locality relabeling is active (false
+	// when the computed order was the identity).
+	Reordered bool `json:"reordered"`
+	// Blocks is the number of destination blocks of the blocked sweep
+	// schedule; BlockTargetArcs the per-block arc budget.
+	Blocks          int `json:"blocks"`
+	BlockTargetArcs int `json:"block_target_arcs"`
+	// BuildTime is the total engine construction time; ReorderTime the
+	// slice spent computing the locality order.
+	BuildTime   time.Duration `json:"-"`
+	ReorderTime time.Duration `json:"-"`
+	// BuildMs/ReorderMs are the JSON-facing millisecond forms.
+	BuildMs   float64 `json:"build_ms"`
+	ReorderMs float64 `json:"reorder_ms"`
+}
+
+// Stats returns the engine's layout and build statistics.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Nodes:           e.n,
+		Arcs:            len(e.pullSources),
+		Layout:          "pull-csr/blocked",
+		Reordered:       e.origOf != nil,
+		Blocks:          len(e.blocks) - 1,
+		BlockTargetArcs: sweepBlockArcs,
+		BuildTime:       e.buildTime,
+		ReorderTime:     e.reorderTime,
+		BuildMs:         float64(e.buildTime) / 1e6,
+		ReorderMs:       float64(e.reorderTime) / 1e6,
+	}
+}
 
 // Connection returns the engine's cached connection-strength transition —
 // conventional (weighted) PageRank's transition, the one per-seed PPR serves.
@@ -199,88 +377,297 @@ func (e *Engine) SolveContext(ctx context.Context, t *Transition, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	if t.uniform {
-		return e.power(ctx, nil, opts, true)
+	f, done := e.flowOf(t)
+	res, err := e.power(ctx, f, opts, schedBlocked)
+	if done != nil {
+		done()
 	}
-	pp := e.getM()
-	probs := *pp
-	src := t.arcProbs()
-	for k, pos := range e.perm {
-		probs[pos] = src[k]
-	}
-	res, err := e.power(ctx, probs, opts, true)
-	e.putM(pp)
 	return res, err
 }
 
-// getN returns a pooled length-n buffer (contents unspecified).
-func (e *Engine) getN() *[]float64 {
-	if p, ok := e.nbuf.Get().(*[]float64); ok {
+// flow is the solver-facing representation of a transition, in the engine's
+// permuted id space. Exactly one shape is populated:
+//
+//   - all nil: the implicit uniform transition (the cached 1/outdeg table),
+//   - rowFactor+srcScale: a rank-1 factored transition (D2PR) — per-node
+//     tables, no per-arc data at all,
+//   - probs: per-arc probabilities in pull order.
+type flow struct {
+	probs     []float64
+	rowFactor []float64
+	srcScale  []float64
+}
+
+// flowOf returns t's flow representation; when the returned cleanup is
+// non-nil the flow borrows pooled buffers and the caller must invoke it after
+// the solve. Factored transitions cost at most one O(n) permuted copy per
+// solve (nothing at all on an identity-ordered engine) — compare the O(arcs)
+// scatter plus per-iteration O(arcs) stream the per-arc path pays — and even
+// that copy is memoized away for repeat solves of the same *Transition: the
+// scattered permute walk misses cache on most writes, which is measurable
+// against a solve that otherwise streams.
+func (e *Engine) flowOf(t *Transition) (flow, func()) {
+	if t.uniform {
+		return flow{}, nil
+	}
+	if t.rowFactor != nil {
+		if e.permOf == nil {
+			return flow{rowFactor: t.rowFactor, srcScale: t.srcScale}, nil
+		}
+		e.flowMu.Lock()
+		for i := range e.flowEntries {
+			if fe := e.flowEntries[i]; fe.tr == t {
+				e.flowMu.Unlock()
+				return flow{rowFactor: fe.rowFactor, srcScale: fe.srcScale}, nil
+			}
+		}
+		seen := e.flowSeenLocked(t)
+		e.flowMu.Unlock()
+		if !seen {
+			rfp, ssp := getNT[float64](e), getNT[float64](e)
+			e.permuteFactors(*rfp, *ssp, t)
+			return flow{rowFactor: *rfp, srcScale: *ssp}, func() { putNT(e, rfp); putNT(e, ssp) }
+		}
+		rf, ss := make([]float64, e.n), make([]float64, e.n)
+		e.permuteFactors(rf, ss, t)
+		e.flowMu.Lock()
+		e.flowEntries[1] = e.flowEntries[0]
+		e.flowEntries[0] = flowEntry{tr: t, rowFactor: rf, srcScale: ss}
+		e.flowMu.Unlock()
+		return flow{rowFactor: rf, srcScale: ss}, nil
+	}
+	probs, pooled := e.flowProbs(t)
+	if pooled != nil {
+		return flow{probs: probs}, func() { e.putM(pooled) }
+	}
+	return flow{probs: probs}, nil
+}
+
+// permuteFactors copies t's factored tables into the engine's permuted id
+// space. Only called on relabeled engines.
+func (e *Engine) permuteFactors(rf, ss []float64, t *Transition) {
+	for v, pv := range e.permOf {
+		rf[pv] = t.rowFactor[v]
+		ss[pv] = t.srcScale[v]
+	}
+}
+
+// flowSeenLocked records t in the seen ring and reports whether it was
+// already there — the "second sighting" test that gates memo promotion.
+// Caller holds flowMu.
+func (e *Engine) flowSeenLocked(t *Transition) bool {
+	for _, s := range e.flowSeen {
+		if s == t {
+			return true
+		}
+	}
+	e.flowSeen[e.flowSeenPos] = t
+	e.flowSeenPos = (e.flowSeenPos + 1) % len(e.flowSeen)
+	return false
+}
+
+// flowProbs returns t's probabilities in pull order. Uniform transitions
+// return (nil, nil): the solver runs off the cached 1/outdeg table. For
+// explicit transitions the scatter result is memoized per *Transition —
+// but only once a transition has been seen before, so long-lived transitions
+// (benchmark loops, sweep solvers, the engine's own Connection) amortize the
+// scatter to zero while per-request one-shot transitions stay on pooled
+// buffers. When the second return is non-nil the caller owns the buffer and
+// must putM it after the solve.
+func (e *Engine) flowProbs(t *Transition) ([]float64, *[]float64) {
+	if t.uniform {
+		return nil, nil
+	}
+	e.flowMu.Lock()
+	for i := range e.flowEntries {
+		if fe := e.flowEntries[i]; fe.tr == t {
+			e.flowMu.Unlock()
+			return fe.probs, nil
+		}
+	}
+	seen := e.flowSeenLocked(t)
+	e.flowMu.Unlock()
+	if !seen {
+		pp := e.getM()
+		e.scatterFlow(*pp, t.arcProbs())
+		return *pp, pp
+	}
+	// Second sighting: build an owned copy and publish it. Racing builders
+	// may both scatter; last insert wins and the loser's copy still solves
+	// correctly.
+	owned := make([]float64, len(e.pullSources))
+	e.scatterFlow(owned, t.arcProbs())
+	e.flowMu.Lock()
+	e.flowEntries[1] = e.flowEntries[0]
+	e.flowEntries[0] = flowEntry{tr: t, probs: owned}
+	e.flowMu.Unlock()
+	return owned, nil
+}
+
+// scatterFlow scatters forward-CSR-ordered probabilities into pull order.
+func (e *Engine) scatterFlow(dst, src []float64) {
+	for k, pos := range e.perm {
+		dst[pos] = src[k]
+	}
+}
+
+// Pool plumbing. The n-sized pools exist per tier; npoolOf picks by the
+// kernel's element type.
+func npoolOf[T float32or64](e *Engine) *sync.Pool {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return &e.nbuf32
+	}
+	return &e.nbuf
+}
+
+// getNT returns a pooled length-n buffer of the tier's element type
+// (contents unspecified).
+func getNT[T float32or64](e *Engine) *[]T {
+	if p, ok := npoolOf[T](e).Get().(*[]T); ok {
 		return p
 	}
-	s := make([]float64, e.n)
+	s := make([]T, e.n)
 	return &s
 }
 
-func (e *Engine) putN(p *[]float64) { e.nbuf.Put(p) }
+func putNT[T float32or64](e *Engine, p *[]T) { npoolOf[T](e).Put(p) }
 
-// getM returns a pooled length-NumArcs buffer (contents unspecified).
+// getM returns a pooled length-NumArcs float64 buffer (contents unspecified).
 func (e *Engine) getM() *[]float64 {
 	if p, ok := e.mbuf.Get().(*[]float64); ok {
 		return p
 	}
-	s := make([]float64, len(e.sources))
+	s := make([]float64, len(e.pullSources))
 	return &s
 }
 
 func (e *Engine) putM(p *[]float64) { e.mbuf.Put(p) }
 
-// power is the power-iteration core. probs holds the transition in flow
-// order, or nil for the implicit uniform transition. opts must already have
-// defaults applied. arcBalanced selects the parallel partitioning strategy
-// (the node-balanced split is kept only as the benchmark baseline).
+func (e *Engine) getM32() *[]float32 {
+	if p, ok := e.mbuf32.Get().(*[]float32); ok {
+		return p
+	}
+	s := make([]float32, len(e.pullSources))
+	return &s
+}
+
+func (e *Engine) putM32(p *[]float32) { e.mbuf32.Put(p) }
+
+// schedule selects the parallel sweep's work-distribution strategy. Blocked
+// is the default; the static splits are kept as benchmark baselines (and the
+// arc-balanced one as the partition-quality metric in BENCH_core.json).
+type schedule int
+
+const (
+	schedBlocked schedule = iota
+	schedArcStatic
+	schedNodeStatic
+)
+
+// power runs the power-iteration core over a flow representation,
+// dispatching to the tier selected by opts.Float32. opts must already have
+// defaults applied. The factored tables stay float64 in both tiers — they
+// are per-node, so narrowing them would save nothing that matters.
+func (e *Engine) power(ctx context.Context, f flow, opts Options, sched schedule) (*Result, error) {
+	if !opts.Float32 {
+		return powerSolve[float64](ctx, e, f.probs, f.rowFactor, f.srcScale, opts, sched)
+	}
+	var p32 []float32
+	var pp32 *[]float32
+	if f.probs != nil {
+		pp32 = e.getM32()
+		p32 = *pp32
+		for i, v := range f.probs {
+			p32[i] = float32(v)
+		}
+	}
+	res, err := powerSolve[float32](ctx, e, p32, f.rowFactor, f.srcScale, opts, sched)
+	if pp32 != nil {
+		e.putM32(pp32)
+	}
+	return res, err
+}
+
+// hybridFrontierDiv sets the adaptive-hybrid switch point: once fewer than
+// n/hybridFrontierDiv nodes are still moving by more than their share of the
+// L1 tolerance, the convergence tail leaves Jacobi power iteration for
+// Gauss–Seidel sweeps (see Options.Hybrid).
+const hybridFrontierDiv = 8
+
+// powerSolve is the tier-generic power-iteration core. probs holds the
+// transition in pull order; with probs nil the transition is per-node:
+// rank-1 factored when rowFactor/srcScale (permuted space) are set, the
+// implicit uniform one otherwise.
 //
 // ctx is polled once per iteration, before the sweep — on the parallel path
-// that is the point right after the previous iteration's segment barrier, so
-// no worker is ever abandoned mid-segment. The check is one atomic-free
+// that is the point right after the previous iteration's block barrier, so
+// no worker is ever abandoned mid-block. The check is one atomic-free
 // ctx.Err() call against an iteration that sweeps every arc; its cost on the
 // warm path is measured by BenchmarkCoreSolveCancelOverhead (<1%).
-func (e *Engine) power(ctx context.Context, probs []float64, opts Options, arcBalanced bool) (*Result, error) {
+func powerSolve[T float32or64](ctx context.Context, e *Engine, probs []T, rowFactor, srcScale []float64, opts Options, sched schedule) (*Result, error) {
 	n := e.n
-	telep := e.getN()
+	telep := getNT[T](e)
 	tele := *telep
-	opts.teleportInto(tele)
+	teleportPermuted(opts, tele, e.permOf)
 
-	cur := make([]float64, n) // escapes as Result.Scores; everything else is pooled
+	curp := getNT[T](e)
+	cur := *curp
 	copy(cur, tele)
-	nextp := e.getN()
+	nextp := getNT[T](e)
 	next := *nextp
 
-	var scaled []float64
-	var scaledp *[]float64
+	if srcScale == nil {
+		srcScale = e.invOutP
+	}
+	// The per-node paths keep a scaled mirror (scaled[u] = cur[u]·srcScale[u])
+	// so the sweep reads one value per arc instead of two. It is primed once
+	// here; afterwards the sweep epilogue maintains the next iteration's
+	// mirror in nextScaled, and the pair ping-pongs with cur/next.
+	var scaled, nextScaled []T
+	var scaledp, nextScaledp *[]T
 	if probs == nil {
-		scaledp = e.getN()
-		scaled = *scaledp
+		scaledp, nextScaledp = getNT[T](e), getNT[T](e)
+		scaled, nextScaled = *scaledp, *nextScaledp
+		for u := 0; u < n; u++ {
+			scaled[u] = T(float64(cur[u]) * srcScale[u])
+		}
 	}
 
 	workers := opts.Workers
 	if workers > n {
 		workers = n
 	}
-	var st *sweepState
+	// Segment bounds double as the residual-reduction grouping: per-segment
+	// partials are reduced in segment order, so the residual is deterministic
+	// for a given schedule. The serial path walks the same blocks as the
+	// parallel blocked schedule, making serial and parallel solves
+	// bit-identical end to end.
+	var bounds []int32
+	dynamic := false
+	switch {
+	case sched == schedArcStatic && workers > 1:
+		bounds = e.partitionArcs(workers)
+	case sched == schedNodeStatic && workers > 1:
+		bounds = partitionNodes(n, workers)
+	default:
+		bounds, dynamic = e.blocks, true
+	}
+	accs := make([]blockAcc, len(bounds)-1)
+	activeTol := opts.Tol / float64(n)
+	var st *sweepState[T]
 	if workers > 1 {
-		var bounds []int32
-		if arcBalanced {
-			bounds = e.partitionArcs(workers)
-		} else {
-			bounds = partitionNodes(n, workers)
+		st = &sweepState[T]{
+			e: e, probs: probs, tele: tele, rowFactor: rowFactor, srcScale: srcScale,
+			alpha: opts.Alpha, activeTol: activeTol,
+			bounds: bounds, dynamic: dynamic, workers: workers, accs: accs,
 		}
-		st = &sweepState{e: e, probs: probs, tele: tele, scaled: scaled, bounds: bounds}
 	}
 
 	res := &Result{}
 	solveStart := time.Now()
 	var cancelErr error
+	hybridAt := 0
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			cancelErr = fmt.Errorf("core: solve aborted after %d/%d iterations: %w", res.Iterations, opts.MaxIter, err)
@@ -290,93 +677,73 @@ func (e *Engine) power(ctx context.Context, probs []float64, opts Options, arcBa
 		// distribution, keeping the chain stochastic.
 		var dangling float64
 		for _, d := range e.dangling {
-			dangling += cur[d]
+			dangling += float64(cur[d])
 		}
 		base := opts.Alpha * dangling // multiplied by tele[v] per node
 
-		if probs == nil {
-			// Implicit uniform transition: pre-scale once per iteration so
-			// the sweep reads one float per arc instead of two.
-			inv := e.invOut
-			for u := 0; u < n; u++ {
-				scaled[u] = cur[u] * inv[u]
-			}
-		}
 		if st != nil {
 			st.cur, st.next = cur, next
-			st.alpha, st.base = opts.Alpha, base
+			st.scaled, st.nextScaled = scaled, nextScaled
+			st.base = base
 			st.run()
 		} else {
-			e.sweepRange(probs, cur, scaled, next, tele, opts.Alpha, base, 0, n)
+			for s := range accs {
+				d, a := sweepRows(e.pullOffsets, e.pullSources, probs, cur, scaled, next, nextScaled, tele,
+					rowFactor, srcScale, opts.Alpha, base, activeTol, int(bounds[s]), int(bounds[s+1]))
+				accs[s] = blockAcc{diff: d, active: a}
+			}
+		}
+		var diff float64
+		var active int
+		for _, a := range accs {
+			diff += a.diff
+			active += a.active
 		}
 
-		var diff float64
-		for v := 0; v < n; v++ {
-			diff += math.Abs(next[v] - cur[v])
-		}
 		cur, next = next, cur
+		scaled, nextScaled = nextScaled, scaled
 		res.Iterations = iter
 		res.Residual = diff
 		if diff < opts.Tol {
 			res.Converged = true
 			break
 		}
+		// Adaptive hybrid: once the active frontier is small, the dense
+		// Jacobi sweep wastes most of its work re-deriving settled nodes —
+		// hand the tail to Gauss–Seidel, which propagates fresh values
+		// within a sweep and converges it in far fewer passes.
+		if opts.Hybrid && active*hybridFrontierDiv < n && iter < opts.MaxIter {
+			hybridAt = iter
+			break
+		}
+	}
+	if cancelErr == nil && hybridAt > 0 && !res.Converged {
+		res.HybridSwitch = hybridAt
+		cancelErr = gsLoop(ctx, e, probs, cur, scaled, tele, rowFactor, srcScale, opts, res, hybridAt+1)
 	}
 	res.Elapsed = time.Since(solveStart)
 	if cancelErr == nil {
 		// Exact renormalization guards against drift over hundreds of
-		// iterations.
-		var sum float64
-		for _, v := range cur {
-			sum += v
-		}
-		if sum > 0 {
-			inv := 1 / sum
-			for i := range cur {
-				cur[i] *= inv
-			}
-		}
-		res.Scores = cur
+		// iterations; materialization also translates back to original ids.
+		res.Scores = materializeScores(cur, e.permOf)
 	}
-	// cur/next may have swapped an odd number of times; whichever length-n
-	// buffer did not become the result goes back to the pool.
+	// The buffer pairs may have swapped an odd number of times; all are
+	// pooled either way, only the materialized result escapes.
+	*curp = cur
 	*nextp = next
-	e.putN(nextp)
-	e.putN(telep)
+	putNT(e, curp)
+	putNT(e, nextp)
+	putNT(e, telep)
 	if scaledp != nil {
 		*scaledp = scaled
-		e.putN(scaledp)
+		*nextScaledp = nextScaled
+		putNT(e, scaledp)
+		putNT(e, nextScaledp)
 	}
 	if cancelErr != nil {
 		return nil, cancelErr
 	}
 	return res, nil
-}
-
-// sweepRange performs one pull sweep over destinations [lo, hi). With
-// probs == nil the transition is the implicit uniform one and scaled must
-// hold cur[u]/outdeg(u).
-func (e *Engine) sweepRange(probs, cur, scaled, next, tele []float64, alpha, base float64, lo, hi int) {
-	offsets, sources := e.offsets, e.sources
-	if probs == nil {
-		for v := lo; v < hi; v++ {
-			alo, ahi := offsets[v], offsets[v+1]
-			var acc float64
-			for k := alo; k < ahi; k++ {
-				acc += scaled[sources[k]]
-			}
-			next[v] = alpha*acc + (base+1-alpha)*tele[v]
-		}
-		return
-	}
-	for v := lo; v < hi; v++ {
-		alo, ahi := offsets[v], offsets[v+1]
-		var acc float64
-		for k := alo; k < ahi; k++ {
-			acc += probs[k] * cur[sources[k]]
-		}
-		next[v] = alpha*acc + (base+1-alpha)*tele[v]
-	}
 }
 
 // partitionNodes splits [0, n) into ~equal node-count segments — the seed
@@ -395,60 +762,128 @@ func partitionNodes(n, workers int) []int32 {
 	return bounds
 }
 
-// partitionArcs splits the destination range so every segment owns roughly
-// the same number of in-arcs (each node also counts 1, so arc-free stretches
-// still spread). On hub-heavy power-law graphs this is what keeps one worker
-// from drawing all the hub rows and becoming the straggler. Segments may be
-// empty when a single node owns more than a worker's share of arcs.
+// partitionArcs returns the destination split where every segment owns
+// roughly the same number of in-arcs (each node also counts 1, so arc-free
+// stretches still spread). On hub-heavy power-law graphs this is what keeps
+// one worker from drawing all the hub rows and becoming the straggler.
+// Segments may be empty when a single node owns more than a worker's share
+// of arcs. The split is cached per worker count — topology is immutable, so
+// it is computed at most once per (engine, workers).
 func (e *Engine) partitionArcs(workers int) []int32 {
+	e.partMu.Lock()
+	defer e.partMu.Unlock()
+	if b, ok := e.parts[workers]; ok {
+		return b
+	}
 	bounds := make([]int32, workers+1)
 	bounds[workers] = int32(e.n)
-	total := e.offsets[e.n] + int64(e.n)
+	total := e.pullOffsets[e.n] + int64(e.n)
 	for w := 1; w < workers; w++ {
 		target := total * int64(w) / int64(workers)
 		v := sort.Search(e.n, func(v int) bool {
-			return e.offsets[v]+int64(v) >= target
+			return e.pullOffsets[v]+int64(v) >= target
 		})
 		bounds[w] = int32(v)
 	}
+	if e.parts == nil {
+		e.parts = make(map[int][]int32)
+	}
+	e.parts[workers] = bounds
 	return bounds
 }
 
-// sweepState carries one parallel sweep's inputs to the worker pool. One
-// sweepState lives for a whole solve; only the cur/next pair and the
-// dangling base change between iterations.
-type sweepState struct {
-	e                       *Engine
-	probs                   []float64
-	cur, next, tele, scaled []float64
-	alpha, base             float64
-	bounds                  []int32
-	wg                      sync.WaitGroup
+// blockAcc is one segment's residual contribution; partials are reduced in
+// segment order after the sweep barrier, so the residual is deterministic
+// regardless of which worker computed which segment.
+type blockAcc struct {
+	diff   float64
+	active int
 }
 
-// run executes one sweep: segments 1..k-1 go to the persistent pool, segment
-// 0 runs on the calling goroutine (one fewer handoff, and the caller would
-// only block in Wait anyway).
-func (st *sweepState) run() {
-	segs := len(st.bounds) - 1
-	st.wg.Add(segs)
-	for seg := 1; seg < segs; seg++ {
-		sweepPool.submit(poolTask{st: st, seg: seg})
+// sweepState carries one parallel sweep's inputs to the worker pool. One
+// sweepState lives for a whole solve; only the buffer pairs and the dangling
+// base change between iterations.
+type sweepState[T float32or64] struct {
+	e                                   *Engine
+	probs                               []T
+	cur, next, scaled, nextScaled, tele []T
+	rowFactor, srcScale                 []float64
+	alpha, base, activeTol              float64
+	// bounds are destination boundaries: block boundaries consumed work-
+	// stealing style when dynamic, otherwise one static segment per worker.
+	bounds  []int32
+	dynamic bool
+	workers int
+	accs    []blockAcc
+	cursor  atomic.Int64
+	wg      sync.WaitGroup
+}
+
+// run executes one sweep. The calling goroutine always works too (one fewer
+// handoff, and it would only block in Wait anyway); extra workers come from
+// the persistent pool. Every destination row is computed by exactly one
+// worker and rows are reduced independently, so results are identical across
+// schedules and worker counts.
+func (st *sweepState[T]) run() {
+	if st.dynamic {
+		st.cursor.Store(0)
+		workers := st.workers
+		if nb := len(st.bounds) - 1; workers > nb {
+			workers = nb
+		}
+		st.wg.Add(workers)
+		for w := 1; w < workers; w++ {
+			sweepPool.submit(poolTask{r: st, seg: -1})
+		}
+		st.runSeg(-1)
+	} else {
+		segs := len(st.bounds) - 1
+		st.wg.Add(segs)
+		for seg := 1; seg < segs; seg++ {
+			sweepPool.submit(poolTask{r: st, seg: seg})
+		}
+		st.runSeg(0)
 	}
-	st.runSegment(0)
 	st.wg.Wait()
 }
 
-func (st *sweepState) runSegment(seg int) {
-	st.e.sweepRange(st.probs, st.cur, st.scaled, st.next, st.tele,
-		st.alpha, st.base, int(st.bounds[seg]), int(st.bounds[seg+1]))
+// runSeg computes one static segment (seg ≥ 0) or loops grabbing dynamic
+// blocks until none remain (seg < 0). Each segment's residual partial lands
+// in accs at the segment's own index, so the post-barrier reduction order is
+// independent of work-stealing interleavings.
+func (st *sweepState[T]) runSeg(seg int) {
+	e := st.e
+	if seg >= 0 {
+		d, a := sweepRows(e.pullOffsets, e.pullSources, st.probs, st.cur, st.scaled, st.next, st.nextScaled, st.tele,
+			st.rowFactor, st.srcScale, st.alpha, st.base, st.activeTol, int(st.bounds[seg]), int(st.bounds[seg+1]))
+		st.accs[seg] = blockAcc{diff: d, active: a}
+		st.wg.Done()
+		return
+	}
+	nb := int64(len(st.bounds) - 1)
+	for {
+		b := st.cursor.Add(1) - 1
+		if b >= nb {
+			break
+		}
+		d, a := sweepRows(e.pullOffsets, e.pullSources, st.probs, st.cur, st.scaled, st.next, st.nextScaled, st.tele,
+			st.rowFactor, st.srcScale, st.alpha, st.base, st.activeTol, int(st.bounds[b]), int(st.bounds[b+1]))
+		st.accs[b] = blockAcc{diff: d, active: a}
+	}
 	st.wg.Done()
 }
 
-// poolTask is one segment of one sweep. Plain value: submitting allocates
-// nothing.
+// segRunner is the unit of work the pool executes; both sweep tiers
+// implement it, so one pool serves float64 and float32 solves alike.
+type segRunner interface {
+	runSeg(seg int)
+}
+
+// poolTask is one segment (or one dynamic worker slot) of one sweep. Plain
+// value: submitting allocates nothing — the interface word holds the
+// *sweepState pointer directly.
 type poolTask struct {
-	st  *sweepState
+	r   segRunner
 	seg int
 }
 
@@ -464,8 +899,8 @@ type workerPool struct {
 const workerIdleTimeout = 30 * time.Second
 
 // sweepPool is the process-wide pool shared by every engine. Its cap bounds
-// total sweep parallelism across concurrent solves; segment 0 of each sweep
-// runs on the submitting goroutine, so a single solve still uses
+// total sweep parallelism across concurrent solves; one worker slot of each
+// sweep runs on the submitting goroutine, so a single solve still uses
 // opts.Workers cores when the pool is otherwise idle.
 var sweepPool = newWorkerPool(64)
 
@@ -490,7 +925,7 @@ func (p *workerPool) submit(t poolTask) {
 }
 
 func (p *workerPool) worker(t poolTask) {
-	t.st.runSegment(t.seg)
+	t.r.runSeg(t.seg)
 	idle := time.NewTimer(workerIdleTimeout)
 	defer idle.Stop()
 	for {
@@ -499,7 +934,7 @@ func (p *workerPool) worker(t poolTask) {
 			if !idle.Stop() {
 				<-idle.C
 			}
-			t.st.runSegment(t.seg)
+			t.r.runSeg(t.seg)
 			idle.Reset(workerIdleTimeout)
 		case <-idle.C:
 			<-p.sem

@@ -16,9 +16,16 @@ import (
 //     on every solve (the seed behavior) vs reusing the cached engine.
 //   - CoreSolveWarmUniform: the implicit 1/outdeg path — no per-arc
 //     probability array is built, scattered, or read.
-//   - CoreSweepNodeBalanced vs CoreSweepArcBalanced: straggler cost of
-//     splitting the parallel sweep by node count when one worker draws all
-//     the hub rows, vs splitting by arc prefix-sums.
+//   - CoreSolveWarmNoReorder: the identity-order ablation of the locality
+//     relabeling (same kernel, builder's node order).
+//   - CoreSolveWarmFloat32: the float32 score tier (Options.Float32).
+//   - CoreSweepBlocked vs CoreSweepNodeBalanced vs CoreSweepArcBalanced:
+//     the dynamic cache-blocked schedule against the two static splits.
+//   - CoreConvergePower vs CoreConvergeHybrid: full runs to a real
+//     tolerance, with and without the adaptive Gauss–Seidel tail.
+//
+// Every warm bench also reports ns_per_arc — the tentpole metric the
+// CI bench-regression guard tracks (scripts/bench_guard.sh).
 
 const (
 	benchNodes  = 30000
@@ -38,8 +45,20 @@ func benchGraph(b *testing.B) *graph.Graph {
 // benchOpts pins the iteration count so every variant does identical work.
 var benchOpts = Options{Alpha: DefaultAlpha, MaxIter: 20, Tol: 1e-300}
 
+// reportNsPerArc converts the measured ns/op into ns per arc-traversal so
+// BENCH_core.json tracks kernel throughput independent of graph size and the
+// pinned iteration count. Call after the timed loop (ResetTimer would drop
+// metrics reported before it).
+func reportNsPerArc(b *testing.B, arcs, itersPerOp int) {
+	if b.N == 0 {
+		return
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perOp/float64(arcs)/float64(itersPerOp), "ns_per_arc")
+}
+
 // BenchmarkCoreSolveCold measures the seed behavior: every solve rebuilds
-// the pull topology (transpose + permutation) before iterating.
+// the pull topology (transpose + reordering + block layout) before iterating.
 func BenchmarkCoreSolveCold(b *testing.B) {
 	g := benchGraph(b)
 	tr := DegreeDecoupled(g, 1)
@@ -53,13 +72,16 @@ func BenchmarkCoreSolveCold(b *testing.B) {
 }
 
 // BenchmarkCoreSolveWarm measures the cached-engine path: the transpose is
-// reused, each solve only scatters transition probabilities and iterates.
+// reused and — since tr is long-lived — the flow-probability memo kicks in,
+// so each solve is pure iteration.
 func BenchmarkCoreSolveWarm(b *testing.B) {
 	g := benchGraph(b)
 	e := EngineFor(g)
 	tr := DegreeDecoupled(g, 1)
-	if _, err := e.Solve(tr, benchOpts); err != nil {
-		b.Fatal(err)
+	for i := 0; i < 2; i++ { // second solve promotes tr into the flow memo
+		if _, err := e.Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -67,6 +89,7 @@ func BenchmarkCoreSolveWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportNsPerArc(b, g.NumArcs(), benchOpts.MaxIter)
 }
 
 // BenchmarkCoreSolveCancelOverhead measures the warm-solve path under a live
@@ -83,8 +106,10 @@ func BenchmarkCoreSolveCancelOverhead(b *testing.B) {
 	tr := DegreeDecoupled(g, 1)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	if _, err := e.SolveContext(ctx, tr, benchOpts); err != nil {
-		b.Fatal(err)
+	for i := 0; i < 2; i++ {
+		if _, err := e.SolveContext(ctx, tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -92,6 +117,7 @@ func BenchmarkCoreSolveCancelOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportNsPerArc(b, g.NumArcs(), benchOpts.MaxIter)
 }
 
 // BenchmarkCoreSolveWarmUniform measures the implicit uniform (p = 0)
@@ -109,55 +135,143 @@ func BenchmarkCoreSolveWarmUniform(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportNsPerArc(b, g.NumArcs(), benchOpts.MaxIter)
+}
+
+// BenchmarkCoreSolveWarmNoReorder is the locality-relabeling ablation: the
+// same warm solve on an identity-ordered engine. The gap to
+// BenchmarkCoreSolveWarm is the reordering's contribution.
+func BenchmarkCoreSolveWarmNoReorder(b *testing.B) {
+	g := benchGraph(b)
+	e := newEngineIdentity(g)
+	tr := DegreeDecoupled(g, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(tr, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerArc(b, g.NumArcs(), benchOpts.MaxIter)
+}
+
+// BenchmarkCoreSolveWarmFloat32 measures the float32 score tier on the warm
+// explicit-transition path: per-node and per-arc streams at half width,
+// accumulation still float64.
+func BenchmarkCoreSolveWarmFloat32(b *testing.B) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := DegreeDecoupled(g, 1)
+	opts := benchOpts
+	opts.Float32 = true
+	for i := 0; i < 2; i++ {
+		if _, err := e.Solve(tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportNsPerArc(b, g.NumArcs(), opts.MaxIter)
 }
 
 // benchSweep runs the fixed-iteration power core with the given worker count
-// and partitioning strategy over a pre-scattered probability buffer. Besides
-// wall time (which only separates the strategies on multi-core hosts), it
-// reports "imbalance": the heaviest segment's arc load as a multiple of the
-// ideal per-worker share — the straggler factor, 1.0 being perfect. The
-// metric is deterministic, so BENCH_core.json records the partition quality
-// even when the bench host is single-core.
-func benchSweep(b *testing.B, workers int, arcBalanced bool) {
+// and schedule over a pre-scattered probability buffer. Besides wall time
+// (which only separates the strategies on multi-core hosts), the static
+// schedules report "imbalance": the heaviest segment's arc load as a multiple
+// of the ideal per-worker share — the straggler factor, 1.0 being perfect.
+// The blocked schedule reports its block count instead; its balance is
+// dynamic. Both metrics are deterministic, so BENCH_core.json records the
+// schedule quality even when the bench host is single-core.
+func benchSweep(b *testing.B, workers int, sched schedule) {
 	g := benchGraph(b)
 	e := EngineFor(g)
 	tr := DegreeDecoupled(g, 1)
 	probs := make([]float64, g.NumArcs())
-	src := tr.arcProbs()
-	for k, pos := range e.perm {
-		probs[pos] = src[k]
+	e.scatterFlow(probs, tr.arcProbs())
+	opts, err := benchOpts.withDefaults(e.n)
+	if err != nil {
+		b.Fatal(err)
 	}
-	opts := benchOpts
 	opts.Workers = workers
 
-	bounds := partitionNodes(e.n, workers)
-	if arcBalanced {
-		bounds = e.partitionArcs(workers)
-	}
-	var maxSeg int64
-	for w := 0; w < workers; w++ {
-		if arcs := e.offsets[bounds[w+1]] - e.offsets[bounds[w]]; arcs > maxSeg {
-			maxSeg = arcs
-		}
-	}
-
-	if _, err := e.power(context.Background(), probs, opts, arcBalanced); err != nil {
+	if _, err := e.power(context.Background(), flow{probs: probs}, opts, sched); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.power(context.Background(), probs, opts, arcBalanced); err != nil {
+		if _, err := e.power(context.Background(), flow{probs: probs}, opts, sched); err != nil {
 			b.Fatal(err)
 		}
 	}
 	// After the loop: ResetTimer deletes user metrics reported before it.
+	reportNsPerArc(b, g.NumArcs(), opts.MaxIter)
+	if sched == schedBlocked {
+		b.ReportMetric(float64(len(e.blocks)-1), "blocks")
+		return
+	}
+	bounds := partitionNodes(e.n, workers)
+	if sched == schedArcStatic {
+		bounds = e.partitionArcs(workers)
+	}
+	var maxSeg int64
+	for w := 0; w < workers; w++ {
+		if arcs := e.pullOffsets[bounds[w+1]] - e.pullOffsets[bounds[w]]; arcs > maxSeg {
+			maxSeg = arcs
+		}
+	}
 	b.ReportMetric(float64(maxSeg)*float64(workers)/float64(g.NumArcs()), "imbalance")
 }
 
-func BenchmarkCoreSweepNodeBalanced4(b *testing.B) { benchSweep(b, 4, false) }
-func BenchmarkCoreSweepArcBalanced4(b *testing.B)  { benchSweep(b, 4, true) }
-func BenchmarkCoreSweepNodeBalanced8(b *testing.B) { benchSweep(b, 8, false) }
-func BenchmarkCoreSweepArcBalanced8(b *testing.B)  { benchSweep(b, 8, true) }
+func BenchmarkCoreSweepNodeBalanced4(b *testing.B) { benchSweep(b, 4, schedNodeStatic) }
+func BenchmarkCoreSweepArcBalanced4(b *testing.B)  { benchSweep(b, 4, schedArcStatic) }
+func BenchmarkCoreSweepBlocked4(b *testing.B)      { benchSweep(b, 4, schedBlocked) }
+func BenchmarkCoreSweepNodeBalanced8(b *testing.B) { benchSweep(b, 8, schedNodeStatic) }
+func BenchmarkCoreSweepArcBalanced8(b *testing.B)  { benchSweep(b, 8, schedArcStatic) }
+func BenchmarkCoreSweepBlocked8(b *testing.B)      { benchSweep(b, 8, schedBlocked) }
 
 // BenchmarkCoreSweepSequential anchors the parallel numbers.
-func BenchmarkCoreSweepSequential(b *testing.B) { benchSweep(b, 1, true) }
+func BenchmarkCoreSweepSequential(b *testing.B) { benchSweep(b, 1, schedArcStatic) }
+
+// benchConverge runs warm solves to a real tolerance (not the pinned
+// iteration count), so the hybrid solver's fewer-total-sweeps advantage is
+// visible as wall time. The tolerance sits at 1e-14, deep enough that the
+// residual frontier collapses and the hybrid actually switches to its
+// Gauss–Seidel tail on the bench graph (at looser tolerances power
+// iteration converges before the frontier shrinks). Iterations vary per
+// variant, so these report plain ns/op only.
+func benchConverge(b *testing.B, hybrid bool) {
+	g := benchGraph(b)
+	e := EngineFor(g)
+	tr := DegreeDecoupled(g, 1)
+	opts := Options{Alpha: DefaultAlpha, Tol: 1e-14, Hybrid: hybrid}
+	var iters, sweeps int
+	for i := 0; i < 2; i++ {
+		res, err := e.Solve(tr, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatalf("did not converge in %d iterations", res.Iterations)
+		}
+		iters, sweeps = res.Iterations, res.GSSweeps
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(iters), "iters")
+	b.ReportMetric(float64(sweeps), "gs_sweeps")
+}
+
+func BenchmarkCoreConvergePower(b *testing.B)  { benchConverge(b, false) }
+func BenchmarkCoreConvergeHybrid(b *testing.B) { benchConverge(b, true) }

@@ -148,10 +148,10 @@ func TestParallelSweepEmptyRanges(t *testing.T) {
 func TestPartitionArcsBalance(t *testing.T) {
 	g := powerLawGraph(t, 5000, 8, 3)
 	e := EngineFor(g)
-	m := e.offsets[e.n]
+	m := e.pullOffsets[e.n]
 	var maxRow int64
 	for v := 0; v < e.n; v++ {
-		if r := e.offsets[v+1] - e.offsets[v]; r > maxRow {
+		if r := e.pullOffsets[v+1] - e.pullOffsets[v]; r > maxRow {
 			maxRow = r
 		}
 	}
@@ -160,7 +160,7 @@ func TestPartitionArcsBalance(t *testing.T) {
 		ideal := (m + int64(e.n)) / int64(workers)
 		for w := 0; w < workers; w++ {
 			lo, hi := bounds[w], bounds[w+1]
-			arcs := e.offsets[hi] - e.offsets[lo]
+			arcs := e.pullOffsets[hi] - e.pullOffsets[lo]
 			if arcs > ideal+maxRow {
 				t.Errorf("workers=%d seg %d: %d arcs, ideal %d (+hub %d)", workers, w, arcs, ideal, maxRow)
 			}

@@ -10,19 +10,25 @@ import (
 // SolveGaussSeidel solves the same fixpoint as Solve with in-place
 // Gauss–Seidel sweeps: each node update immediately uses the freshest scores
 // of its in-neighbors. Whether that beats Jacobi power iteration depends on
-// the node ordering relative to the graph: on the directed citation graphs
-// in this module (arcs point to lower ids, so every in-neighbor is fresh by
-// the time a node updates) it converges in a fraction of the sweeps, while
-// on undirected hub-heavy graphs it can need more sweeps than Jacobi —
-// `BenchmarkAblationGaussSeidel` measures both. It exists as the ablation
-// partner for the solver choice, not as a default.
+// the node ordering relative to the graph: when the sweep order runs "with
+// the grain" of the arcs (so in-neighbors are fresh by the time a node
+// updates) it converges in a fraction of the sweeps, while against the grain
+// it can need more sweeps than Jacobi — `BenchmarkAblationGaussSeidel`
+// measures both. It exists as the ablation partner for the solver choice and
+// as the convergence tail of Options.Hybrid, not as a standalone default.
+//
+// Sweeps run in the engine's permuted (locality-relabeled) id space like
+// every other solver here; because Gauss–Seidel's result depends on update
+// order, its scores match Solve's only within Tol, not bit-for-bit — which
+// has always been its contract (TestGaussSeidelMatchesPowerIteration).
 //
 // The pull topology comes from the per-graph engine cache, the same one
 // Solve and SweepSolver use, so alternating between solvers on one graph
 // never re-transposes it; uniform transitions run off the cached 1/outdeg
 // table with no per-arc probabilities.
 //
-// The method is inherently sequential, so Options.Workers is ignored.
+// The method is inherently sequential, so Options.Workers is ignored, and it
+// always runs in the float64 tier (Options.Float32 is ignored too).
 // Dangling-node handling and the teleport distribution match Solve exactly;
 // both solvers converge to the same vector (within tolerance), which
 // TestGaussSeidelMatchesPowerIteration asserts.
@@ -47,116 +53,138 @@ func SolveGaussSeidelContext(ctx context.Context, t *Transition, opts Options) (
 	}
 	e := EngineFor(t.g)
 
-	var probs []float64
-	var probsp *[]float64
-	if !t.uniform {
-		probsp = e.getM()
-		probs = *probsp
-		src := t.arcProbs()
-		for k, pos := range e.perm {
-			probs[pos] = src[k]
-		}
-	}
-	telep := e.getN()
+	f, done := e.flowOf(t)
+	telep := getNT[float64](e)
 	tele := *telep
-	opts.teleportInto(tele)
+	teleportPermuted(opts, tele, e.permOf)
 
-	x := make([]float64, n) // escapes as Result.Scores
+	xp := getNT[float64](e)
+	x := *xp
 	copy(x, tele)
-	// For the implicit uniform transition, scaled mirrors x[u]/outdeg(u)
-	// and is refreshed on every write to x.
 	var scaled []float64
 	var scaledp *[]float64
-	if probs == nil {
-		scaledp = e.getN()
+	if f.probs == nil {
+		scaledp = getNT[float64](e)
 		scaled = *scaledp
-		for u := 0; u < n; u++ {
-			scaled[u] = x[u] * e.invOut[u]
-		}
 	}
 
 	res := &Result{}
 	solveStart := time.Now()
+	cancelErr := gsLoop(ctx, e, f.probs, x, scaled, tele, f.rowFactor, f.srcScale, opts, res, 1)
+	res.Elapsed = time.Since(solveStart)
+	if cancelErr == nil {
+		res.Scores = materializeScores(x, e.permOf)
+	}
+	putNT(e, telep)
+	putNT(e, xp)
+	if scaledp != nil {
+		putNT(e, scaledp)
+	}
+	if done != nil {
+		done()
+	}
+	if cancelErr != nil {
+		return nil, cancelErr
+	}
+	return res, nil
+}
+
+// gsLoop runs Gauss–Seidel sweeps over the engine's permuted pull CSR until
+// convergence, MaxIter, or cancellation, updating res in place. x is the
+// iterate (modified in place); with probs == nil the transition is per-node —
+// rank-1 factored when rowFactor/srcScale (permuted space) are set, the
+// implicit uniform one otherwise — and scaled (same length) is used as the
+// x[u]·srcScale[u] mirror; gsLoop initializes it from x, so callers hand it
+// over uninitialized. startIter numbers the first sweep, letting the hybrid
+// solver continue the shared iteration budget where power iteration left off.
+//
+// Shared by SolveGaussSeidel (float64, startIter 1) and the Options.Hybrid
+// convergence tail (either tier, resuming mid-solve).
+func gsLoop[T float32or64](ctx context.Context, e *Engine, probs, x, scaled, tele []T, rowFactor, srcScale []float64, opts Options, res *Result, startIter int) error {
+	n := e.n
+	offsets, sources := e.pullOffsets, e.pullSources
+	if srcScale == nil {
+		srcScale = e.invOutP
+	}
 	// Track the dangling mass incrementally: recomputing it per node would
-	// be O(n·|dangling|). invOut[v] == 0 identifies dangling nodes.
+	// be O(n·|dangling|). srcScale[v] == 0 identifies dangling nodes (true
+	// for the 1/outdeg table and the factored reciprocal sums alike).
 	var danglingMass float64
 	for _, d := range e.dangling {
-		danglingMass += x[d]
+		danglingMass += float64(x[d])
+	}
+	if probs == nil {
+		for u := 0; u < n; u++ {
+			scaled[u] = T(float64(x[u]) * srcScale[u])
+		}
 	}
 	update := func(v int) float64 {
-		lo, hi := e.offsets[v], e.offsets[v+1]
+		lo, hi := offsets[v], offsets[v+1]
 		var acc float64
 		if probs == nil {
 			for k := lo; k < hi; k++ {
-				acc += scaled[e.sources[k]]
+				acc += float64(scaled[sources[k]])
+			}
+			if rowFactor != nil {
+				acc *= rowFactor[v]
 			}
 		} else {
 			for k := lo; k < hi; k++ {
-				acc += probs[k] * x[e.sources[k]]
+				acc += float64(probs[k]) * float64(x[sources[k]])
 			}
 		}
-		nv := opts.Alpha*acc + (opts.Alpha*danglingMass+1-opts.Alpha)*tele[v]
-		d := nv - x[v]
-		if e.invOut[v] == 0 {
+		nv := opts.Alpha*acc + (opts.Alpha*danglingMass+1-opts.Alpha)*float64(tele[v])
+		d := nv - float64(x[v])
+		if srcScale[v] == 0 {
 			danglingMass += d
 		} else if probs == nil {
-			scaled[v] = nv * e.invOut[v]
+			scaled[v] = T(nv * srcScale[v])
 		}
-		x[v] = nv
+		x[v] = T(nv)
 		return math.Abs(d)
 	}
-	var cancelErr error
-	for iter := 1; iter <= opts.MaxIter; iter++ {
+	for iter := startIter; iter <= opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
-			cancelErr = fmt.Errorf("core: gauss-seidel solve aborted after %d/%d sweeps: %w", res.Iterations, opts.MaxIter, err)
-			break
+			return fmt.Errorf("core: gauss-seidel solve aborted after %d/%d sweeps: %w", res.Iterations, opts.MaxIter, err)
 		}
 		// Alternate the sweep direction: whichever way the graph's natural
 		// ordering points (citation DAGs point at lower ids, BFS orders at
 		// higher ones), every second sweep runs "with the grain" and uses
-		// fresh in-neighbor values.
+		// fresh in-neighbor values. Nodes are visited in ORIGINAL id order —
+		// Gauss–Seidel's convergence rate and result both depend on update
+		// order, so sweeping through permOf keeps the grain argument (and
+		// the scores, bit for bit) identical to an unpermuted engine; the
+		// per-node indirection is noise against the per-arc work.
 		var diff float64
+		permOf := e.permOf
 		if iter%2 == 1 {
-			for v := n - 1; v >= 0; v-- {
-				diff += update(v)
+			if permOf == nil {
+				for v := n - 1; v >= 0; v-- {
+					diff += update(v)
+				}
+			} else {
+				for i := n - 1; i >= 0; i-- {
+					diff += update(int(permOf[i]))
+				}
 			}
 		} else {
-			for v := 0; v < n; v++ {
-				diff += update(v)
+			if permOf == nil {
+				for v := 0; v < n; v++ {
+					diff += update(v)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					diff += update(int(permOf[i]))
+				}
 			}
 		}
 		res.Iterations = iter
+		res.GSSweeps++
 		res.Residual = diff
 		if diff < opts.Tol {
 			res.Converged = true
 			break
 		}
 	}
-	res.Elapsed = time.Since(solveStart)
-	if cancelErr == nil {
-		// Gauss–Seidel sweeps do not preserve the L1 norm mid-stream;
-		// renormalize exactly as Solve does.
-		var sum float64
-		for _, v := range x {
-			sum += v
-		}
-		if sum > 0 {
-			inv := 1 / sum
-			for i := range x {
-				x[i] *= inv
-			}
-		}
-		res.Scores = x
-	}
-	e.putN(telep)
-	if scaledp != nil {
-		e.putN(scaledp)
-	}
-	if probsp != nil {
-		e.putM(probsp)
-	}
-	if cancelErr != nil {
-		return nil, cancelErr
-	}
-	return res, nil
+	return nil
 }

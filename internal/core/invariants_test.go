@@ -168,6 +168,92 @@ func TestDesideratumLimits(t *testing.T) {
 	}
 }
 
+func TestFloat32TierWithinTolerance(t *testing.T) {
+	// Property: the float32 score tier matches the sequential float64
+	// baseline within its documented ~1e-6 absolute contract, across
+	// uniform, factored, and per-arc transitions on random graphs.
+	f := func(seed int64, directed bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomWeighted(r, directed)
+		for _, tr := range []*Transition{
+			Uniform(g),
+			DegreeDecoupled(g, 1+math.Abs(math.Mod(float64(seed), 2))),
+			ConnectionStrength(g),
+		} {
+			base, err := Solve(tr, Options{Tol: 1e-12, Workers: 1})
+			if err != nil {
+				return false
+			}
+			f32, err := Solve(tr, Options{Tol: 1e-12, Float32: true})
+			if err != nil {
+				return false
+			}
+			for i := range base.Scores {
+				if math.Abs(base.Scores[i]-f32.Scores[i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32TolClamped(t *testing.T) {
+	// A float64-grade tolerance is unreachable in the float32 tier; the
+	// solve must still terminate converged (Tol clamped to Float32MinTol)
+	// instead of spinning to MaxIter on float32 rounding noise.
+	g := skewedGraph(200, 77)
+	res, err := Solve(DegreeDecoupled(g, 1), Options{Tol: 1e-14, Float32: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("float32 solve did not converge in %d iterations (residual %v)", res.Iterations, res.Residual)
+	}
+}
+
+func TestHybridMatchesPowerFixpoint(t *testing.T) {
+	// Property: the adaptive hybrid solver (power → Gauss–Seidel tail)
+	// reaches the same fixpoint as pure power iteration, and actually
+	// switches on graphs whose frontier collapses.
+	graphs := map[string]*graph.Graph{
+		"skewed":   skewedGraph(250, 3),
+		"powerlaw": powerLawGraph(t, 400, 6, 29),
+	}
+	switched := false
+	for name, g := range graphs {
+		tr := DegreeDecoupled(g, 1.5)
+		base, err := Solve(tr, Options{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := Solve(tr, Options{Tol: 1e-12, Hybrid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hyb.Converged {
+			t.Fatalf("%s: hybrid did not converge", name)
+		}
+		if hyb.HybridSwitch > 0 {
+			switched = true
+			if hyb.GSSweeps == 0 {
+				t.Errorf("%s: switched at %d but ran no GS sweeps", name, hyb.HybridSwitch)
+			}
+		}
+		for i := range base.Scores {
+			if math.Abs(base.Scores[i]-hyb.Scores[i]) > 1e-9 {
+				t.Fatalf("%s: score[%d] differs by %v", name, i, base.Scores[i]-hyb.Scores[i])
+			}
+		}
+	}
+	if !switched {
+		t.Error("hybrid never switched to the Gauss–Seidel tail on any test graph")
+	}
+}
+
 func TestRankCorrelationSanityAcrossSolvers(t *testing.T) {
 	// The experiments only consume rankings; verify the two solvers induce
 	// identical rankings, not just close scores.

@@ -1,0 +1,207 @@
+package core
+
+import "math"
+
+// float32or64 constrains the score-tier element type of the sweep kernels.
+// float64 is the default serving tier; float32 (Options.Float32) halves the
+// memory bandwidth of every per-node and per-arc stream for workloads that
+// tolerate ~1e-6 absolute score error.
+type float32or64 interface {
+	~float32 | ~float64
+}
+
+// sweepRows performs one pull sweep over destinations [lo, hi) of the
+// permuted pull CSR and returns the segment's partial L1 difference between
+// next and cur plus its active-frontier count (nodes moving by more than
+// activeTol). Fusing the residual into the sweep epilogue saves a separate
+// two-stream pass over the score vectors per iteration (~10% of a warm
+// solve, measured). The residual is summed in layout order (an original-id
+// walk would be a gather costing ~30% of the solve, measured), so a
+// relabeled engine's residual can differ from the unpermuted solve's in its
+// last ulps; the iterates themselves stay bit-identical — the epilogue only
+// reads them — and the difference could only become caller-visible if a
+// residual straddled Tol inside that ulp-level window, a measure-zero
+// margin.
+//
+// With probs == nil the transition is per-node factored: scaled must hold
+// cur[u]·srcScale[u] (srcScale is 1/outdeg for the implicit uniform
+// transition, the reciprocal factor sum for a rank-1 D2PR transition), and
+// the epilogue also maintains the invariant for the next iteration by
+// writing nextScaled[v] = next[v]·srcScale[v] — fusing what was a separate
+// per-node prescale pass. rowFactor, non-nil only in the rank-1 case,
+// multiplies each destination's accumulated sum once per row — the entire
+// per-arc probability stream of the D2PR transition collapses into that one
+// per-row multiply. With probs non-nil it holds per-arc probabilities in
+// pull order and scaled/nextScaled/rowFactor/srcScale are unused.
+//
+// The accumulation is 4-way unrolled into independent partial sums: the
+// single-accumulator loop this replaces serialized one FP add latency per
+// arc, which — not bandwidth — was the sweep's bottleneck (the gather
+// working set of a 30k-node graph already fits in L2). The reduction order
+// (a0+a1)+(a2+a3) after the same 4-lane striping is fixed, so results are
+// deterministic and identical across schedules, worker counts, and node
+// orderings: a destination's row always holds the same values in the same
+// sequence (rows are filled in original source-scan order regardless of the
+// relabeling), and each row is always reduced by this exact tree.
+//
+// Partial sums are accumulated in float64 for both tiers; for the float32
+// tier only the stored vectors are narrowed, keeping hub rows (which can sum
+// tens of thousands of terms) from losing digits to cascaded float32
+// rounding.
+func sweepRows[T float32or64](offsets []int64, sources []int32, probs, cur, scaled, next, nextScaled, tele []T, rowFactor, srcScale []float64, alpha, base, activeTol float64, lo, hi int) (diff float64, active int) {
+	tail := base + 1 - alpha
+	if probs == nil && rowFactor != nil {
+		for v := lo; v < hi; v++ {
+			row := sources[offsets[v]:offsets[v+1]]
+			var a0, a1, a2, a3 float64
+			i := 0
+			for ; i+4 <= len(row); i += 4 {
+				a0 += float64(scaled[row[i]])
+				a1 += float64(scaled[row[i+1]])
+				a2 += float64(scaled[row[i+2]])
+				a3 += float64(scaled[row[i+3]])
+			}
+			for ; i < len(row); i++ {
+				a0 += float64(scaled[row[i]])
+			}
+			acc := (a0 + a1) + (a2 + a3)
+			x := T(alpha*rowFactor[v]*acc + tail*float64(tele[v]))
+			next[v] = x
+			nextScaled[v] = T(float64(x) * srcScale[v])
+			d := math.Abs(float64(x) - float64(cur[v]))
+			diff += d
+			if d > activeTol {
+				active++
+			}
+		}
+		return diff, active
+	}
+	if probs == nil {
+		for v := lo; v < hi; v++ {
+			// Row subslice: i+4 <= len(row) lets the compiler drop the
+			// per-arc bounds checks on the source stream; only the scaled
+			// gather keeps one (its index is data).
+			row := sources[offsets[v]:offsets[v+1]]
+			var a0, a1, a2, a3 float64
+			i := 0
+			for ; i+4 <= len(row); i += 4 {
+				a0 += float64(scaled[row[i]])
+				a1 += float64(scaled[row[i+1]])
+				a2 += float64(scaled[row[i+2]])
+				a3 += float64(scaled[row[i+3]])
+			}
+			for ; i < len(row); i++ {
+				a0 += float64(scaled[row[i]])
+			}
+			acc := (a0 + a1) + (a2 + a3)
+			x := T(alpha*acc + tail*float64(tele[v]))
+			next[v] = x
+			nextScaled[v] = T(float64(x) * srcScale[v])
+			// math.Abs is a branchless intrinsic; a sign test here would
+			// mispredict half the time (residual signs are random).
+			d := math.Abs(float64(x) - float64(cur[v]))
+			diff += d
+			if d > activeTol {
+				active++
+			}
+		}
+		return diff, active
+	}
+	for v := lo; v < hi; v++ {
+		klo, khi := offsets[v], offsets[v+1]
+		row := sources[klo:khi]
+		pr := probs[klo:khi]
+		pr = pr[:len(row)] // no-op reslice: proves len(pr) == len(row) to BCE
+		var a0, a1, a2, a3 float64
+		i := 0
+		for ; i+4 <= len(row); i += 4 {
+			// The product is taken in T: exact for float64, and for float32 a
+			// single rounding per term (the float64 partial sums still keep
+			// hub rows from cascading) — well inside the tier's ~1e-6
+			// contract, and it keeps the per-arc convert count at one.
+			a0 += float64(pr[i] * cur[row[i]])
+			a1 += float64(pr[i+1] * cur[row[i+1]])
+			a2 += float64(pr[i+2] * cur[row[i+2]])
+			a3 += float64(pr[i+3] * cur[row[i+3]])
+		}
+		for ; i < len(row); i++ {
+			a0 += float64(pr[i] * cur[row[i]])
+		}
+		acc := (a0 + a1) + (a2 + a3)
+		x := T(alpha*acc + tail*float64(tele[v]))
+		next[v] = x
+		d := math.Abs(float64(x) - float64(cur[v]))
+		diff += d
+		if d > activeTol {
+			active++
+		}
+	}
+	return diff, active
+}
+
+// materializeScores renormalizes the converged iterate into a fresh
+// original-id-order float64 score vector. Both the normalization sum and the
+// scaling walk nodes in original id order (via permOf when the engine is
+// relabeled), so the result is bit-identical to the unpermuted solve.
+func materializeScores[T float32or64](x []T, permOf []int32) []float64 {
+	out := make([]float64, len(x))
+	var sum float64
+	if permOf == nil {
+		for _, v := range x {
+			sum += float64(v)
+		}
+		if sum <= 0 {
+			for i, v := range x {
+				out[i] = float64(v)
+			}
+			return out
+		}
+		inv := 1 / sum
+		for i, v := range x {
+			out[i] = float64(v) * inv
+		}
+		return out
+	}
+	for _, pv := range permOf {
+		sum += float64(x[pv])
+	}
+	if sum <= 0 {
+		for i, pv := range permOf {
+			out[i] = float64(x[pv])
+		}
+		return out
+	}
+	inv := 1 / sum
+	for i, pv := range permOf {
+		out[i] = float64(x[pv]) * inv
+	}
+	return out
+}
+
+// teleportPermuted writes the normalized teleport distribution into tele,
+// translated into the engine's permuted id space. The normalization sum runs
+// over the caller's original-order vector, so the per-entry arithmetic is
+// identical to the unpermuted solve.
+func teleportPermuted[T float32or64](opts Options, tele []T, permOf []int32) {
+	if opts.Teleport == nil {
+		u := 1 / float64(len(tele))
+		tu := T(u)
+		for i := range tele {
+			tele[i] = tu
+		}
+		return
+	}
+	var s float64
+	for _, v := range opts.Teleport {
+		s += v
+	}
+	if permOf == nil {
+		for i, v := range opts.Teleport {
+			tele[i] = T(v / s)
+		}
+		return
+	}
+	for i, v := range opts.Teleport {
+		tele[permOf[i]] = T(v / s)
+	}
+}

@@ -10,8 +10,9 @@ import (
 // CacheKey returns a canonical string identifying the solver configuration
 // for result caching: two Options values that produce identical solver
 // behavior map to the same key, regardless of whether defaults were spelled
-// out or left zero. Workers is intentionally excluded — it changes wall-clock
-// time, never the fixpoint.
+// out or left zero. Workers and Hybrid are intentionally excluded — they
+// change wall-clock time, never the fixpoint (within Tol). Float32 is
+// included: it changes the scores beyond Tol-level noise.
 //
 // The teleport vector is folded in as an FNV-1a digest of its normalized
 // entries, so personalized configurations get distinct keys without embedding
@@ -27,7 +28,13 @@ func (o Options) CacheKey() string {
 		o.MaxIter = DefaultMaxIter
 	}
 	var b strings.Builder
+	if o.Float32 && o.Tol < Float32MinTol {
+		o.Tol = Float32MinTol // mirror the solver's clamp so keys canonicalize
+	}
 	fmt.Fprintf(&b, "alpha=%g|tol=%g|maxiter=%d", o.Alpha, o.Tol, o.MaxIter)
+	if o.Float32 {
+		b.WriteString("|f32")
+	}
 	if o.Teleport != nil {
 		fmt.Fprintf(&b, "|tele=%016x", teleportDigest(o.Teleport))
 	}

@@ -49,7 +49,32 @@ type Options struct {
 	// Workers sets the number of goroutines used for the edge sweep.
 	// 0 means sequential; -1 means GOMAXPROCS.
 	Workers int
+	// Float32 selects the float32 score tier: score, teleport, and scratch
+	// vectors are stored as float32, halving the memory bandwidth of every
+	// per-node and per-arc stream. Residual norms and per-row accumulation
+	// stay in float64, so the error versus the float64 tier is bounded by
+	// storage rounding — ~1e-6 absolute per score in practice. Tol is
+	// clamped up to Float32MinTol (the float32 residual floor); scores still
+	// sum to 1 and the returned Result.Scores is always []float64. Opt-in:
+	// serving workloads that rank by score order tolerate it, numerical
+	// consumers should keep the default tier.
+	Float32 bool
+	// Hybrid enables the adaptive hybrid solver: iterations start as
+	// parallel Jacobi power sweeps, and once the active-residual frontier —
+	// the nodes still moving by more than Tol/n per iteration — shrinks
+	// below n/8, the convergence tail switches to sequential Gauss–Seidel
+	// sweeps, which propagate fresh values within a sweep and finish the
+	// tail in far fewer passes. The solve converges to the same fixpoint
+	// within Tol, so (like Workers) Hybrid does not participate in
+	// Options.CacheKey. Result.HybridSwitch and Result.GSSweeps report
+	// whether and when the switch happened.
+	Hybrid bool
 }
+
+// Float32MinTol is the effective lower bound on Tol in Float32 mode: an L1
+// residual below ~n·ε_f32 can never be observed from float32-stored iterates,
+// so demanding the float64 default 1e-10 would spin to MaxIter.
+const Float32MinTol = 1e-6
 
 // withDefaults returns a copy of o with zero fields replaced by defaults and
 // validates the result for a graph with n nodes.
@@ -65,6 +90,9 @@ func (o Options) withDefaults(n int) (Options, error) {
 	}
 	if o.Tol < 0 {
 		return o, fmt.Errorf("core: negative tolerance %v", o.Tol)
+	}
+	if o.Float32 && o.Tol < Float32MinTol {
+		o.Tol = Float32MinTol
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = DefaultMaxIter
@@ -127,6 +155,13 @@ type Result struct {
 	// solver so serving-layer telemetry never needs to wrap a solve call in
 	// its own timer.
 	Elapsed time.Duration
+	// HybridSwitch is the power iteration after which an Options.Hybrid
+	// solve handed the tail to Gauss–Seidel; 0 when no switch happened.
+	HybridSwitch int
+	// GSSweeps counts Gauss–Seidel sweeps: all of them for SolveGaussSeidel,
+	// the tail sweeps for a hybrid solve, 0 for pure power iteration.
+	// Iterations always counts both kinds.
+	GSSweeps int
 }
 
 // ErrEmptyGraph is returned when a ranker is asked to rank a graph with no

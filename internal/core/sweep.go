@@ -88,21 +88,91 @@ func (s *SweepSolver) SolveContext(ctx context.Context, p, beta float64, opts Op
 	// mirrors Blended's own short-circuits so sweep scores stay
 	// interchangeable with the interactive pipeline.
 	if (p == 0 && (beta == 0 || s.conn.uniform)) || (beta == 1 && s.conn.uniform) {
-		return s.e.power(ctx, nil, opts, true)
+		return s.e.power(ctx, flow{}, opts, schedBlocked)
+	}
+	if beta == 1 {
+		// Pure connection-strength: s.conn is long-lived, so the engine's
+		// flow-probability memoization applies and repeat solves skip the
+		// scatter entirely.
+		probs, pooled := s.e.flowProbs(s.conn)
+		res, err := s.e.power(ctx, flow{probs: probs}, opts, schedBlocked)
+		if pooled != nil {
+			s.e.putM(pooled)
+		}
+		return res, err
+	}
+	if beta == 0 {
+		// Pure de-coupling is rank-1: try the factored form first — two
+		// per-node tables instead of a per-arc array, and the solve runs the
+		// probs-free kernel. Falls through to the per-arc build only when
+		// some source needs the shifted stable evaluation (extreme p).
+		rfp, ssp := getNT[float64](s.e), getNT[float64](s.e)
+		if s.decoupledFactors(p, *rfp, *ssp) {
+			res, err := s.e.power(ctx, flow{rowFactor: *rfp, srcScale: *ssp}, opts, schedBlocked)
+			putNT(s.e, rfp)
+			putNT(s.e, ssp)
+			return res, err
+		}
+		putNT(s.e, rfp)
+		putNT(s.e, ssp)
 	}
 	pp := s.e.getM()
 	fprobs := *pp
-	if beta == 1 {
-		src := s.conn.arcProbs()
-		for k, pos := range s.e.perm {
-			fprobs[pos] = src[k]
-		}
-	} else {
-		s.decoupledFlowProbs(p, beta, fprobs)
-	}
-	res, err := s.e.power(ctx, fprobs, opts, true)
+	s.decoupledFlowProbs(p, beta, fprobs)
+	res, err := s.e.power(ctx, flow{probs: fprobs}, opts, schedBlocked)
 	s.e.putM(pp)
 	return res, err
+}
+
+// decoupledFactors fills the rank-1 factored form of the pure (β = 0) D2PR
+// transition for de-coupling weight p directly in the engine's permuted id
+// space: rf[dst] = exp(-p·log Θ̂) per destination, ss[src] = the reciprocal
+// per-source factor sum (0 for dangling sources). Returns false — with rf/ss
+// contents unspecified — when any factor or sum fails the positive-finite
+// gate (see factoredDecoupled), in which case the caller must use the
+// shifted per-arc build.
+func (s *SweepSolver) decoupledFactors(p float64, rf, ss []float64) bool {
+	g := s.e.g
+	n := g.NumNodes()
+	permOf := s.e.permOf
+	factorp := getNT[float64](s.e)
+	factor := *factorp
+	defer putNT(s.e, factorp)
+	for v := 0; v < n; v++ {
+		f := math.Exp(-p * s.logTheta[v])
+		if f <= 0 || math.IsInf(f, 0) {
+			return false
+		}
+		factor[v] = f
+	}
+	for u := int32(0); int(u) < n; u++ {
+		pu := u
+		if permOf != nil {
+			pu = permOf[u]
+		}
+		lo, hi := g.ArcRange(u)
+		if lo == hi {
+			ss[pu] = 0 // dangling; pooled buffers arrive with stale contents
+			continue
+		}
+		var sum float64
+		for k := lo; k < hi; k++ {
+			sum += factor[g.ArcTarget(k)]
+		}
+		inv := 1 / sum
+		if !(sum > 0) || math.IsInf(sum, 0) || math.IsInf(inv, 0) {
+			return false
+		}
+		ss[pu] = inv
+	}
+	if permOf == nil {
+		copy(rf, factor)
+	} else {
+		for v, pv := range permOf {
+			rf[pv] = factor[v]
+		}
+	}
+	return true
 }
 
 // decoupledFlowProbs writes the (β-blended) D2PR transition directly in
@@ -119,7 +189,7 @@ func (s *SweepSolver) decoupledFlowProbs(p, beta float64, fprobs []float64) {
 	if beta > 0 {
 		conn = s.conn.arcProbs()
 	}
-	factorp := s.e.getN()
+	factorp := getNT[float64](s.e)
 	factor := *factorp
 	for v := range factor {
 		factor[v] = math.Exp(-p * s.logTheta[v])
@@ -168,5 +238,5 @@ func (s *SweepSolver) decoupledFlowProbs(p, beta float64, fprobs []float64) {
 			fprobs[perm[k]] = w
 		}
 	}
-	s.e.putN(factorp)
+	putNT(s.e, factorp)
 }

@@ -22,19 +22,37 @@ type Transition struct {
 	g       *graph.Graph
 	uniform bool
 
-	once  sync.Once // guards lazy materialization for uniform transitions
+	once  sync.Once // guards lazy materialization for uniform/factored transitions
 	probs []float64
+
+	// Rank-1 factorization (original id space), set by DegreeDecoupled when
+	// numerically safe: probs[k] = rowFactor[dst(k)] · srcScale[src(k)], with
+	// srcScale[u] = 1/Σ_{v ∈ out(u)} rowFactor[v] (0 for dangling u). The
+	// solvers consume this instead of a per-arc array — the whole O(arcs)
+	// probability stream disappears from the sweep. dp keeps the de-coupling
+	// weight for lazy per-arc materialization (arcProbs).
+	rowFactor []float64
+	srcScale  []float64
+	dp        float64
 }
 
 // Graph returns the graph the transition is defined over.
 func (t *Transition) Graph() *graph.Graph { return t.g }
 
 // arcProbs returns the per-arc probabilities, materializing the lazy uniform
-// representation on first use. Safe for concurrent callers.
+// or factored representation on first use. Safe for concurrent callers. The
+// factored case materializes through decoupledProbs (the shifted per-source
+// evaluation), so the per-arc view is bit-identical to a pre-factorization
+// DegreeDecoupled build.
 func (t *Transition) arcProbs() []float64 {
 	t.once.Do(func() {
 		if t.probs == nil {
-			t.probs = uniformProbs(t.g)
+			if t.rowFactor != nil {
+				t.probs = make([]float64, t.g.NumArcs())
+				decoupledProbs(t.g, t.dp, logThetaTable(t.g), t.probs)
+			} else {
+				t.probs = uniformProbs(t.g)
+			}
 		}
 	})
 	return t.probs
@@ -132,13 +150,60 @@ func ConnectionStrength(g *graph.Graph) *Transition {
 //
 // p = 0 returns the (implicit) Uniform transition: the factors are exactly
 // exp(0)/outdeg = 1/outdeg, so no per-arc array needs to exist.
+// When the unshifted factor table exp(-p·log Θ̂) and every per-source factor
+// sum are positive finite numbers — always, except at extreme p·Θ̂ spreads —
+// the transition is kept in its rank-1 factored form instead of a per-arc
+// array: probs[k] = rowFactor[dst(k)]·srcScale[src(k)]. The solvers run the
+// factored form directly (one per-node table read per arc replaces the
+// per-arc probability stream), and the per-arc view is materialized lazily,
+// only if a caller actually reads probabilities.
 func DegreeDecoupled(g *graph.Graph, p float64) *Transition {
 	if p == 0 {
 		return Uniform(g)
 	}
+	logTheta := logThetaTable(g)
+	if rowFactor, srcScale := factoredDecoupled(g, p, logTheta); rowFactor != nil {
+		return &Transition{g: g, rowFactor: rowFactor, srcScale: srcScale, dp: p}
+	}
 	t := &Transition{g: g, probs: make([]float64, g.NumArcs())}
-	decoupledProbs(g, p, logThetaTable(g), t.probs)
+	decoupledProbs(g, p, logTheta, t.probs)
 	return t
+}
+
+// factoredDecoupled builds the rank-1 form of the D2PR transition, or returns
+// (nil, nil) when any factor or per-source factor sum falls outside the
+// positive finite range where the unshifted evaluation is safe (the same gate
+// SweepSolver.decoupledFlowProbs applies per source; here one bad source
+// rejects the whole factorization, because the solvers consume the factored
+// form for every row or not at all). A denormal sum passes sum > 0 but its
+// reciprocal overflows, so the reciprocal is tested alongside the sum.
+func factoredDecoupled(g *graph.Graph, p float64, logTheta []float64) (rowFactor, srcScale []float64) {
+	n := g.NumNodes()
+	rowFactor = make([]float64, n)
+	for v := 0; v < n; v++ {
+		f := math.Exp(-p * logTheta[v])
+		if f <= 0 || math.IsInf(f, 0) {
+			return nil, nil
+		}
+		rowFactor[v] = f
+	}
+	srcScale = make([]float64, n)
+	for u := int32(0); int(u) < n; u++ {
+		lo, hi := g.ArcRange(u)
+		if lo == hi {
+			continue // dangling: srcScale stays 0
+		}
+		var sum float64
+		for k := lo; k < hi; k++ {
+			sum += rowFactor[g.ArcTarget(k)]
+		}
+		inv := 1 / sum
+		if !(sum > 0) || math.IsInf(sum, 0) || math.IsInf(inv, 0) {
+			return nil, nil
+		}
+		srcScale[u] = inv
+	}
+	return rowFactor, srcScale
 }
 
 // logThetaTable precomputes log Θ̂ for every node — the p-independent half of

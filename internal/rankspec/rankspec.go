@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"d2pr/internal/core"
@@ -34,6 +35,28 @@ const (
 
 // Algos lists the supported algorithm names in documentation order.
 func Algos() []string { return []string{AlgoD2PR, AlgoPageRank, AlgoHITS, AlgoDegree} }
+
+// float32Mode is the process-wide score-tier toggle; see SetFloat32Mode.
+var float32Mode atomic.Bool
+
+// SetFloat32Mode switches the power-iteration serving algorithms (d2pr and
+// pagerank) to the float32 score tier (core.Options.Float32): half the
+// memory traffic per sweep in exchange for ~1e-6 absolute score error —
+// far finer than any ranking consumer resolves, but a different contract
+// than the float64 default, so it is an explicit operator opt-in
+// (d2pr-server -float32). The mode is part of the cache identity: flipping
+// it mid-flight changes the derived cache keys, so float64 and float32
+// score vectors never alias one another.
+func SetFloat32Mode(on bool) { float32Mode.Store(on) }
+
+// Float32Mode reports whether the float32 score tier is active.
+func Float32Mode() bool { return float32Mode.Load() }
+
+// float32Applies reports whether the mode affects the given algorithm: only
+// the engine-backed power-iteration paths have a float32 tier.
+func float32Applies(algo string) bool {
+	return algo == AlgoD2PR || algo == AlgoPageRank
+}
 
 // Spec is one fully-determined ranking configuration.
 type Spec struct {
@@ -96,6 +119,9 @@ func (s Spec) Validate(numNodes int) error {
 // Workers, so cache identities are unaffected.
 func (s Spec) Options(n int) core.Options {
 	o := core.Options{Alpha: s.Alpha, Workers: -1}
+	if float32Applies(s.Algo) && Float32Mode() {
+		o.Float32 = true
+	}
 	if len(s.Seeds) > 0 {
 		tele := make([]float64, n)
 		for _, sd := range s.Seeds {
@@ -123,7 +149,11 @@ func (s Spec) CacheKey() rankcache.Key {
 	case AlgoPageRank:
 		p, beta = 0, 0
 	}
-	optsKey := core.Options{Alpha: alpha}.CacheKey()
+	o := core.Options{Alpha: alpha}
+	if float32Applies(s.Algo) && Float32Mode() {
+		o.Float32 = true
+	}
+	optsKey := o.CacheKey()
 	if len(seeds) > 0 {
 		parts := make([]string, len(seeds))
 		for i, sd := range seeds {

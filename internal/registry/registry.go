@@ -95,6 +95,16 @@ func (s *Snapshot) Engine() *core.Engine {
 	return s.engine
 }
 
+// EngineIfBuilt returns the snapshot's engine if some solve has already built
+// it, nil otherwise. Read-only surfaces (/v1/{graph}/info, /metrics) use this
+// so reporting on a graph nobody has ranked yet never triggers the O(arcs)
+// engine build.
+func (s *Snapshot) EngineIfBuilt() *core.Engine {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.engine
+}
+
 // loaded is one load attempt's successful outcome.
 type loaded struct {
 	g        *graph.Graph
@@ -366,6 +376,18 @@ func (r *Registry) Len() int {
 // until a manual Reload re-arms it.
 func (r *Registry) Get(name string) (*Snapshot, error) {
 	return r.GetContext(context.Background(), name)
+}
+
+// SnapshotIfLoaded returns the entry's current snapshot without triggering a
+// load — nil when the name is unknown or the graph has never materialized.
+// One lock-free atomic read; the observability surfaces use it so reporting
+// never competes with serving.
+func (r *Registry) SnapshotIfLoaded(name string) *Snapshot {
+	e, ok := r.lookup(name)
+	if !ok {
+		return nil
+	}
+	return e.cur.Load()
 }
 
 // GetContext is Get with a context bounding the wait on an in-flight load

@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"d2pr/internal/admission"
+	"d2pr/internal/core"
 	"d2pr/internal/jobs"
 	"d2pr/internal/pprcache"
 	"d2pr/internal/rankcache"
+	"d2pr/internal/rankspec"
 	"d2pr/internal/telemetry"
 )
 
@@ -186,6 +188,59 @@ func (s *Server) writeServerFamilies(p *telemetry.PromWriter) {
 	p.Sample("d2pr_graphs_registered", nil, float64(registered))
 	p.Family("d2pr_graphs_loaded", "gauge", "Graphs currently materialized in memory.")
 	p.Sample("d2pr_graphs_loaded", nil, float64(loaded))
+
+	// Engine layout/build families, one sample per graph whose engine exists
+	// (reporting never triggers a build — see Snapshot.EngineIfBuilt). Stats
+	// are gathered up front because samples of one family must stay
+	// contiguous in the exposition.
+	type engineRow struct {
+		lbl   []telemetry.Label
+		stats core.EngineStats
+	}
+	var engines []engineRow
+	for _, st := range statuses {
+		if !st.Loaded {
+			continue
+		}
+		snap := s.reg.SnapshotIfLoaded(st.Name)
+		if snap == nil {
+			continue
+		}
+		eng := snap.EngineIfBuilt()
+		if eng == nil {
+			continue
+		}
+		engines = append(engines, engineRow{
+			lbl:   []telemetry.Label{{Name: "graph", Value: st.Name}},
+			stats: eng.Stats(),
+		})
+	}
+	p.Family("d2pr_engine_layout_build_seconds", "gauge", "Engine construction time: transpose, locality relabeling, block layout.")
+	for _, row := range engines {
+		p.Sample("d2pr_engine_layout_build_seconds", row.lbl, row.stats.BuildTime.Seconds())
+	}
+	p.Family("d2pr_engine_reorder_seconds", "gauge", "Slice of the engine build spent computing the locality order.")
+	for _, row := range engines {
+		p.Sample("d2pr_engine_reorder_seconds", row.lbl, row.stats.ReorderTime.Seconds())
+	}
+	p.Family("d2pr_engine_reordered", "gauge", "Whether the locality relabeling is active (1) or the identity (0).")
+	for _, row := range engines {
+		reordered := 0.0
+		if row.stats.Reordered {
+			reordered = 1
+		}
+		p.Sample("d2pr_engine_reordered", row.lbl, reordered)
+	}
+	p.Family("d2pr_engine_blocks", "gauge", "Destination blocks of the cache-blocked sweep schedule.")
+	for _, row := range engines {
+		p.Sample("d2pr_engine_blocks", row.lbl, float64(row.stats.Blocks))
+	}
+	p.Family("d2pr_float32_mode", "gauge", "Whether the float32 score tier is active for power-iteration serving (d2pr-server -float32).")
+	f32 := 0.0
+	if rankspec.Float32Mode() {
+		f32 = 1
+	}
+	p.Sample("d2pr_float32_mode", nil, f32)
 
 	p.Family("d2pr_panics_total", "counter", "Recovered panics across handlers, jobs, and compute closures.")
 	p.Sample("d2pr_panics_total", nil, float64(s.tel.Panics()))

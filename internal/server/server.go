@@ -497,6 +497,12 @@ type GraphInfo struct {
 	DegreeStdDev    float64 `json:"degree_stddev"`
 	MedianNbrStdDev float64 `json:"median_neighbor_degree_stddev"`
 	HasSignificance bool    `json:"has_significance"`
+	// Engine reports the solver engine's memory layout and build costs —
+	// present only once some solve has built the engine (reporting never
+	// triggers the build itself). Float32Mode is the process-wide score
+	// tier the power-iteration algorithms serve with (-float32).
+	Engine      *core.EngineStats `json:"engine,omitempty"`
+	Float32Mode bool              `json:"float32_mode"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -505,7 +511,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := graph.ComputeStats(snap.Graph)
-	writeJSON(w, http.StatusOK, GraphInfo{
+	info := GraphInfo{
 		Name:            snap.Name,
 		Source:          snap.Source,
 		Kind:            snap.Graph.Kind().String(),
@@ -516,7 +522,13 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		DegreeStdDev:    st.DegreeStdDev,
 		MedianNbrStdDev: st.MedianNeighborDegStdDev,
 		HasSignificance: snap.Significance != nil,
-	})
+		Float32Mode:     rankspec.Float32Mode(),
+	}
+	if eng := snap.EngineIfBuilt(); eng != nil {
+		es := eng.Stats()
+		info.Engine = &es
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // RankEntry is one row of a top-k response.
